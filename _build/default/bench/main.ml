@@ -1,0 +1,192 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. the experiment harness — regenerates every table and figure of the
+      paper's evaluation (the same registry bin/nestsim drives);
+   2. a Bechamel micro-suite with one [Test.make] per table/figure, each
+      wrapping that experiment's computational kernel at reduced scale,
+      plus two engine primitives — so regressions in simulator
+      performance are visible independently of the result tables.
+
+   Usage:
+     dune exec bench/main.exe                 # all tables+figures + micro
+     dune exec bench/main.exe -- --quick      # shorter measurement windows
+     dune exec bench/main.exe -- --micro-only # skip the tables
+     dune exec bench/main.exe -- fig4 fig9    # a subset *)
+
+open Nest_experiments
+module Time = Nest_sim.Time
+
+(* ------------------------------------------------------------------ *)
+(* Experiment kernels for the micro-suite.                             *)
+
+let kernel_netperf_single ~mode () =
+  let tb, site = Exp_util.deploy_single_sync ~mode ~port:7000 () in
+  let ep = Nest_workloads.App.of_single tb site in
+  ignore
+    (Nest_workloads.Netperf.tcp_stream tb ep ~msg_size:1280
+       ~warmup:(Time.ms 5) ~duration:(Time.ms 20) ())
+
+let kernel_netperf_pair ~mode () =
+  let tb, site = Exp_util.deploy_pair_sync ~mode ~port:7000 () in
+  let ep = Nest_workloads.App.of_pair site in
+  ignore
+    (Nest_workloads.Netperf.udp_rr tb ep ~msg_size:1024 ~warmup:(Time.ms 5)
+       ~duration:(Time.ms 20) ())
+
+let kernel_macro_memcached () =
+  let tb, site = Exp_util.deploy_single_sync ~mode:`Nat ~port:11211 () in
+  let ep = Nest_workloads.App.of_single tb site in
+  ignore
+    (Nest_workloads.Memcached.run tb ep ~warmup:(Time.ms 5)
+       ~duration:(Time.ms 20) ())
+
+let kernel_macro_nginx () =
+  let tb, site = Exp_util.deploy_single_sync ~mode:`Brfusion ~port:80 () in
+  let ep = Nest_workloads.App.of_single tb site in
+  ignore
+    (Nest_workloads.Nginx.run tb ep ~containerized:true ~warmup:(Time.ms 5)
+       ~duration:(Time.ms 20) ())
+
+let kernel_macro_kafka () =
+  let tb, site = Exp_util.deploy_single_sync ~mode:`NoCont ~port:9092 () in
+  let ep = Nest_workloads.App.of_single tb site in
+  ignore
+    (Nest_workloads.Kafka.run tb ep ~warmup:(Time.ms 5) ~duration:(Time.ms 20)
+       ())
+
+let kernel_cpu_breakdown () =
+  let tb, site = Exp_util.deploy_pair_sync ~mode:`Hostlo ~port:11211 () in
+  let ep = Nest_workloads.App.of_pair site in
+  let before = Nest_workloads.App.Cpu_snap.take tb.Nestfusion.Testbed.acct in
+  ignore
+    (Nest_workloads.Memcached.run tb ep ~warmup:(Time.ms 5)
+       ~duration:(Time.ms 20) ());
+  let after = Nest_workloads.App.Cpu_snap.take tb.Nestfusion.Testbed.acct in
+  ignore
+    (Nest_workloads.App.Cpu_snap.diff_cores ~before ~after ~entity:"vm1"
+       Nest_sim.Cpu_account.Soft ~window:(Time.ms 25))
+
+let kernel_boot () =
+  ignore (Fig_boot.boot_samples ~mode:`Brfusion ~runs:3 ~seed:11L)
+
+let kernel_table1 () =
+  ignore (List.length Nest_workloads.Netperf.default_sizes)
+
+let kernel_table2 () =
+  List.iter
+    (fun (_, _, _, rc, rm, price) -> ignore (rc +. rm +. price))
+    Nest_costsim.Aws.table2_rows
+
+let kernel_costsim () =
+  let users = Nest_traces.Trace_gen.generate ~seed:5L ~users:12 in
+  ignore (Nest_costsim.Report.evaluate users)
+
+let kernel_engine_events () =
+  let e = Nest_sim.Engine.create () in
+  for i = 1 to 1_000 do
+    Nest_sim.Engine.schedule e ~delay:i (fun () -> ())
+  done;
+  Nest_sim.Engine.run e
+
+let kernel_conntrack () =
+  let ct = Nest_net.Conntrack.create () in
+  let nat_ip = Nest_net.Ipv4.of_string "10.0.0.1" in
+  for i = 1 to 200 do
+    let pkt =
+      Nest_net.Packet.make
+        ~src:(Nest_net.Ipv4.of_int (0x0a000000 + i))
+        ~dst:(Nest_net.Ipv4.of_string "10.0.0.2")
+        (Nest_net.Packet.Udp
+           { src_port = 1000 + i; dst_port = 53;
+             payload = Nest_net.Payload.raw 64 })
+    in
+    ignore (Nest_net.Conntrack.snat ct pkt ~to_ip:nat_ip)
+  done
+
+let micro_tests =
+  let open Bechamel in
+  [ Test.make ~name:"fig2:netperf-nat"
+      (Staged.stage (kernel_netperf_single ~mode:`Nat));
+    Test.make ~name:"table1:workload-parameters" (Staged.stage kernel_table1);
+    Test.make ~name:"fig4:netperf-brfusion"
+      (Staged.stage (kernel_netperf_single ~mode:`Brfusion));
+    Test.make ~name:"fig5:kafka" (Staged.stage kernel_macro_kafka);
+    Test.make ~name:"fig6:cpu-breakdown" (Staged.stage kernel_cpu_breakdown);
+    Test.make ~name:"fig7:nginx" (Staged.stage kernel_macro_nginx);
+    Test.make ~name:"fig8:boot" (Staged.stage kernel_boot);
+    Test.make ~name:"table2:aws-models" (Staged.stage kernel_table2);
+    Test.make ~name:"fig9:costsim" (Staged.stage kernel_costsim);
+    Test.make ~name:"fig10:netperf-hostlo"
+      (Staged.stage (kernel_netperf_pair ~mode:`Hostlo));
+    Test.make ~name:"fig11:memcached" (Staged.stage kernel_macro_memcached);
+    Test.make ~name:"fig12:netperf-samenode"
+      (Staged.stage (kernel_netperf_pair ~mode:`SameNode));
+    Test.make ~name:"fig13:netperf-overlay"
+      (Staged.stage (kernel_netperf_pair ~mode:`Overlay));
+    Test.make ~name:"fig14:cpu-hostlo" (Staged.stage kernel_cpu_breakdown);
+    Test.make ~name:"fig15:netperf-natx"
+      (Staged.stage (kernel_netperf_pair ~mode:`NatX));
+    Test.make ~name:"engine:1k-events" (Staged.stage kernel_engine_events);
+    Test.make ~name:"net:conntrack-snat" (Staged.stage kernel_conntrack) ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_newline ();
+  print_endline "== Bechamel micro-suite (one Test.make per table/figure) ==";
+  let grouped = Test.make_grouped ~name:"paper" micro_tests in
+  let cfg =
+    Benchmark.cfg ~limit:60 ~quota:(Bechamel.Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o ->
+        let est =
+          match Analyze.OLS.estimates o with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        fun acc -> (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-42s %16s\n" "kernel" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%10.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
+        else Printf.sprintf "%10.0f ns" ns
+      in
+      Printf.printf "%-42s %16s\n" name human)
+    rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let micro_only = List.mem "--micro-only" args in
+  let ids =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  if not micro_only then begin
+    match ids with
+    | [] -> Registry.run_all ~quick
+    | ids ->
+      List.iter
+        (fun id ->
+          match Registry.find id with
+          | Some e -> e.Registry.run ~quick
+          | None -> Printf.eprintf "bench: unknown experiment %S (skipped)\n" id)
+        ids
+  end;
+  run_micro ();
+  print_newline ();
+  print_endline "bench: done."

@@ -1,0 +1,129 @@
+(* nestsim — experiment driver CLI.
+
+   Run any table or figure of the paper's evaluation:
+     nestsim run fig4
+     nestsim run all --quick
+     nestsim run ablations
+     nestsim list
+     nestsim trace gen --users 492 --seed 2026 --out trace.csv
+     nestsim trace stats trace.csv *)
+
+let list_cmd () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-8s %s\n" e.Nest_experiments.Registry.id
+        e.Nest_experiments.Registry.description)
+    (Nest_experiments.Registry.all @ Nest_experiments.Registry.ablations)
+
+let run_cmd ids quick =
+  match ids with
+  | [ "all" ] | [] -> Nest_experiments.Registry.run_all ~quick
+  | [ "ablations" ] ->
+    List.iter
+      (fun e -> e.Nest_experiments.Registry.run ~quick)
+      Nest_experiments.Registry.ablations
+  | ids ->
+    List.iter
+      (fun id ->
+        match Nest_experiments.Registry.find id with
+        | Some e -> e.Nest_experiments.Registry.run ~quick
+        | None ->
+          Printf.eprintf "unknown experiment %S; try `nestsim list'\n" id;
+          exit 1)
+      ids
+
+let trace_gen users seed out =
+  let trace =
+    Nest_traces.Trace_gen.generate ~seed:(Int64.of_int seed) ~users
+  in
+  let csv = Nest_traces.Trace.to_csv trace in
+  (match out with
+  | None -> print_string csv
+  | Some path ->
+    let oc = open_out path in
+    output_string oc csv;
+    close_out oc;
+    Printf.printf "wrote %d users (%d containers) to %s\n" users
+      (List.fold_left
+         (fun a u -> a + Nest_traces.Trace.user_containers u)
+         0 trace)
+      path)
+
+let trace_stats path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let csv = really_input_string ic len in
+  close_in ic;
+  let users = Nest_traces.Trace.of_csv csv in
+  let pods = Nest_sim.Stats.create ~name:"pods/user" () in
+  let conts = Nest_sim.Stats.create ~name:"containers/pod" () in
+  let cpu = Nest_sim.Stats.create ~name:"cpu/container (rel)" () in
+  List.iter
+    (fun u ->
+      Nest_sim.Stats.add pods (float_of_int (Nest_traces.Trace.user_pods u));
+      List.iter
+        (fun p ->
+          Nest_sim.Stats.add conts
+            (float_of_int (List.length p.Nest_traces.Trace.p_containers));
+          List.iter
+            (fun c -> Nest_sim.Stats.add cpu c.Nest_traces.Trace.c_cpu)
+            p.Nest_traces.Trace.p_containers)
+        u.Nest_traces.Trace.pods)
+    users;
+  Printf.printf "users: %d\n" (List.length users);
+  List.iter
+    (fun s -> Format.printf "%a@." Nest_sim.Stats.pp_summary s)
+    [ pods; conts; cpu ]
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shorter measurement windows.")
+
+let ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiment ids (fig2..fig15, table1, table2) or 'all'.")
+
+let run_term =
+  let doc = "Run experiments (default: all)." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_cmd $ ids $ quick)
+
+let list_term =
+  let doc = "List available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_cmd $ const ())
+
+let trace_term =
+  let users =
+    Arg.(value & opt int 492 & info [ "users" ] ~doc:"Number of users.")
+  in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Output file.")
+  in
+  let action =
+    Arg.(value & pos 0 (enum [ ("gen", `Gen); ("stats", `Stats) ]) `Gen
+           & info [] ~docv:"ACTION")
+  in
+  let file =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let doc = "Generate or summarize synthetic cluster traces." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const (fun action users seed out file ->
+          match action with
+          | `Gen -> trace_gen users seed out
+          | `Stats -> (
+            match file with
+            | Some f -> trace_stats f
+            | None -> prerr_endline "trace stats: FILE required"; Stdlib.exit 1))
+      $ action $ users $ seed $ out $ file)
+
+let main =
+  let doc = "Nested Virtualization Without the Nest — experiment driver" in
+  Cmd.group
+    (Cmd.info "nestsim" ~version:"1.0.0" ~doc)
+    ~default:Term.(const (fun () -> list_cmd ()) $ const ())
+    [ run_term; list_term; trace_term ]
+
+let () = exit (Cmd.eval main)

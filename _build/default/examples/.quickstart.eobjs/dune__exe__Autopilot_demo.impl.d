@@ -1,0 +1,1 @@
+examples/autopilot_demo.ml: Autopilot List Nest_orch Nest_sim Nestfusion Pod_resources Printf String Testbed

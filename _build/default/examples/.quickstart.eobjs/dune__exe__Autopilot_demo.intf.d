@@ -1,0 +1,1 @@
+examples/autopilot_demo.mli:

@@ -1,0 +1,1 @@
+examples/brfusion_demo.ml: Deploy List Modes Nest_sim Nest_workloads Nestfusion Option Printf Testbed

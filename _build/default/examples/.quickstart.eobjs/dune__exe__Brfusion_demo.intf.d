@@ -1,0 +1,1 @@
+examples/brfusion_demo.mli:

@@ -1,0 +1,1 @@
+examples/cost_savings.ml: Format List Nest_costsim Nest_traces Printf String

@@ -1,0 +1,1 @@
+examples/hostlo_pod.ml: Deploy Ipv4 List Modes Nest_net Nest_sim Nest_workloads Nestfusion Option Payload Printf Stack String Testbed

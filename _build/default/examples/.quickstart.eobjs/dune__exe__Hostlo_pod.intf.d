@@ -1,0 +1,1 @@
+examples/hostlo_pod.mli:

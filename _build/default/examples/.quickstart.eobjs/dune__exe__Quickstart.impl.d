@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bridge Deploy Format Ipv4 Nest_net Nest_sim Nest_workloads Nestfusion Option Path_probe Printf Stack Testbed

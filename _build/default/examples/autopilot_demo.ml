@@ -1,0 +1,75 @@
+(* Integrated-orchestrator demo (the paper's §7 direction): the
+   orchestrator manages the VM fleet through the VMM — BrFusion for
+   whole pods, Hostlo splitting when fragmentation demands it, VM
+   purchase as the last resort.
+
+     dune exec examples/autopilot_demo.exe *)
+
+open Nestfusion
+module Time = Nest_sim.Time
+module Pod = Nest_orch.Pod
+module Node = Nest_orch.Node
+
+let show ap tb msg =
+  ignore tb;
+  Printf.printf "%-46s fleet=%d bought=%d splits=%d\n%!" msg
+    (List.length (Autopilot.nodes ap))
+    (Autopilot.vms_bought ap) (Autopilot.pods_split ap);
+  List.iter
+    (fun n ->
+      Printf.printf "    %-8s %.1f/%.1f cpu  %.1f/%.1f GB\n" (Node.name n)
+        (Node.cpu_requested n) (Node.cpu_capacity n) (Node.mem_requested n)
+        (Node.mem_capacity n))
+    (Autopilot.nodes ap)
+
+let deploy tb ap p =
+  let d = ref None in
+  Autopilot.deploy ap p ~on_ready:(fun x -> d := Some x);
+  Testbed.run_until tb (Nest_sim.Engine.now tb.Testbed.engine + Time.sec 300);
+  match !d with Some d -> d | None -> failwith "deployment stuck"
+
+let () =
+  let tb = Testbed.create ~num_vms:1 () in
+  let ap = Autopilot.create tb ~provision_delay:(Time.sec 30) () in
+  show ap tb "start: one 5-vCPU node";
+
+  let d1 =
+    deploy tb ap
+      (Pod.make ~name:"api" [ Pod.container ~name:"srv" ~cpu:4.0 ~mem:2.0 () ])
+  in
+  ignore d1;
+  show ap tb "deployed 'api' (4 cpu) whole, via BrFusion";
+
+  let _d2 =
+    deploy tb ap
+      (Pod.make ~name:"db" [ Pod.container ~name:"pg" ~cpu:3.0 ~mem:2.5 () ])
+  in
+  show ap tb "'db' (3 cpu) did not fit: a VM was bought";
+
+  (* Now only fragments remain (1 + 2 cpu): a 3-container pod splits. *)
+  let d3 =
+    deploy tb ap
+      (Pod.make ~name:"workers"
+         ~volumes:[ Pod.volume ~name:"artifacts" ~shared_fs:true () ]
+         [ Pod.container ~name:"w1" ~cpu:1.0 ~mem:0.4 ();
+           Pod.container ~name:"w2" ~cpu:1.0 ~mem:0.4 ();
+           Pod.container ~name:"w3" ~cpu:1.0 ~mem:0.4 () ])
+  in
+  show ap tb "'workers' (3x1 cpu) split across the fragments via Hostlo";
+  (match d3.Autopilot.placement with
+  | Autopilot.Split frs ->
+    Printf.printf "  fractions on: %s; VirtFS volume mounted on: %s\n"
+      (String.concat ", " (List.map (fun (n, _) -> Node.name n) frs))
+      (String.concat ", "
+         (Pod_resources.Volumes.mounts (Autopilot.volumes ap)
+            ~pod:d3.Autopilot.dep_tag ~volume:"artifacts"))
+  | Autopilot.Whole _ -> ());
+
+  Autopilot.delete ap d3;
+  (match Autopilot.deployments ap with
+  | d :: _ -> Autopilot.delete ap d
+  | [] -> ());
+  let removed = Autopilot.scale_down ap in
+  Printf.printf "\nafter deleting two pods, scale_down released %d VM(s)\n"
+    removed;
+  show ap tb "final fleet"

@@ -1,0 +1,52 @@
+(* BrFusion demo: measure the three single-server modes side by side and
+   show where the nested-NAT CPU goes.
+
+     dune exec examples/brfusion_demo.exe *)
+
+open Nestfusion
+module Time = Nest_sim.Time
+module Stats = Nest_sim.Stats
+module App = Nest_workloads.App
+module Netperf = Nest_workloads.Netperf
+
+let run_mode mode =
+  let tb = Testbed.create ~num_vms:1 () in
+  let site = ref None in
+  Deploy.deploy_single tb ~mode ~name:"pod" ~entity:"server" ~port:7000
+    ~k:(fun s -> site := Some s);
+  Testbed.run_until tb (Time.sec 1);
+  let ep = App.of_single tb (Option.get !site) in
+  let before = App.Cpu_snap.take tb.Testbed.acct in
+  let stream = Netperf.tcp_stream tb ep ~msg_size:1280 ~duration:(Time.ms 400) () in
+  let after = App.Cpu_snap.take tb.Testbed.acct in
+  let tb2 = Testbed.create ~num_vms:1 () in
+  let site2 = ref None in
+  Deploy.deploy_single tb2 ~mode ~name:"pod" ~entity:"server" ~port:7000
+    ~k:(fun s -> site2 := Some s);
+  Testbed.run_until tb2 (Time.sec 1);
+  let ep2 = App.of_single tb2 (Option.get !site2) in
+  let rr = Netperf.udp_rr tb2 ep2 ~msg_size:1280 ~duration:(Time.ms 300) () in
+  let soft =
+    App.Cpu_snap.diff_cores ~before ~after ~entity:"vm1"
+      Nest_sim.Cpu_account.Soft ~window:(Time.ms 500)
+  in
+  (stream.Netperf.mbps, Stats.mean rr.Netperf.latency, soft)
+
+let () =
+  print_endline "mode       throughput     RR latency   guest softirq";
+  let base = ref None in
+  List.iter
+    (fun mode ->
+      let mbps, lat, soft = run_mode mode in
+      (match (mode, !base) with `NoCont, _ -> base := Some mbps | _ -> ());
+      Printf.printf "%-10s %7.0f Mbps   %7.1f us   %5.2f cores"
+        (Modes.single_to_string mode) mbps lat soft;
+      (match !base with
+      | Some b when mode <> `NoCont ->
+        Printf.printf "   (%.0f%% of NoCont)" (100.0 *. mbps /. b)
+      | _ -> ());
+      print_newline ())
+    Modes.all_single;
+  print_endline
+    "\nBrFusion removes the in-VM bridge+NAT layer: same path as NoCont,\n\
+     ~2x the NAT throughput, and the guest softirq CPU all but disappears."

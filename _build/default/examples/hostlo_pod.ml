@@ -1,0 +1,82 @@
+(* Hostlo demo: a pod split across two VMs whose containers still talk
+   over plain localhost, compared with the Docker Overlay alternative.
+
+     dune exec examples/hostlo_pod.exe *)
+
+open Nestfusion
+open Nest_net
+module Time = Nest_sim.Time
+module Stats = Nest_sim.Stats
+
+let chat tb (site : Deploy.pair_site) =
+  (* Server in fraction B; client in fraction A; both use the pod's own
+     localhost address when the mode provides one. *)
+  let received = ref [] in
+  Stack.Tcp.listen site.Deploy.b_ns ~port:site.Deploy.b_port
+    ~on_accept:(fun conn ->
+      Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+          List.iter
+            (function
+              | Payload.Opaque s ->
+                received := s :: !received;
+                ignore
+                  (Stack.Tcp.send conn ~size:32
+                     ~msg:(Payload.Opaque ("ack:" ^ s)) ())
+              | _ -> ())
+            msgs));
+  let acks = ref [] in
+  let _c =
+    Stack.Tcp.connect site.Deploy.a_ns ~dst:site.Deploy.b_addr
+      ~port:site.Deploy.b_port
+      ~on_established:(fun conn ->
+        Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+            List.iter
+              (function Payload.Opaque s -> acks := s :: !acks | _ -> ())
+              msgs);
+        List.iter
+          (fun m -> ignore (Stack.Tcp.send conn ~size:64 ~msg:(Payload.Opaque m) ()))
+          [ "hello"; "from"; "the"; "other"; "vm" ])
+      ()
+  in
+  Testbed.run_until tb (Nest_sim.Engine.now tb.Testbed.engine + Time.sec 2);
+  (List.rev !received, List.rev !acks)
+
+let bench mode =
+  let tb = Testbed.create ~num_vms:2 () in
+  let site = ref None in
+  Deploy.deploy_pair tb ~mode ~name:"pod" ~a_entity:"cli" ~b_entity:"srv"
+    ~port:9000 ~k:(fun s -> site := Some s);
+  Testbed.run_until tb (Time.sec 1);
+  let site = Option.get !site in
+  let ep = Nest_workloads.App.of_pair site in
+  let rr =
+    Nest_workloads.Netperf.udp_rr tb ep ~msg_size:1024 ~duration:(Time.ms 300) ()
+  in
+  (site, Stats.mean rr.Nest_workloads.Netperf.latency)
+
+let () =
+  (* Functional demo over Hostlo. *)
+  let tb = Testbed.create ~num_vms:2 () in
+  let site = ref None in
+  Deploy.deploy_pair tb ~mode:`Hostlo ~name:"pod" ~a_entity:"cli"
+    ~b_entity:"srv" ~port:9000 ~k:(fun s -> site := Some s);
+  Testbed.run_until tb (Time.sec 1);
+  let s = Option.get !site in
+  Printf.printf
+    "pod split across vm1 + vm2; fraction B listens on %s:%d (its localhost)\n"
+    (Ipv4.to_string s.Deploy.b_addr) s.Deploy.b_port;
+  let received, acks = chat tb s in
+  Printf.printf "B received over the multiplexed loopback: %s\n"
+    (String.concat " " received);
+  Printf.printf "A got acks: %s\n" (String.concat " " acks);
+
+  (* Latency comparison across the cross-VM options. *)
+  print_endline "\nintra-pod UDP_RR latency at 1024B:";
+  List.iter
+    (fun mode ->
+      let _, lat = bench mode in
+      Printf.printf "  %-9s %7.1f us\n" (Modes.pair_to_string mode) lat)
+    [ `SameNode; `Hostlo; `Overlay; `NatX ];
+  print_endline
+    "\nHostlo keeps localhost semantics across the VM boundary at a fraction\n\
+     of the overlay/NAT latency - the paper's cross-VM pod deployment."

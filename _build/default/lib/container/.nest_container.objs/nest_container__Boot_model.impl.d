@@ -1,0 +1,1 @@
+lib/container/boot_model.ml: Nest_sim

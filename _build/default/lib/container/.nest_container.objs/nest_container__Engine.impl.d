@@ -1,0 +1,1 @@
+lib/container/engine.ml: Boot_model Bridge Image Ipam Ipv4 List Nat Nest_net Nest_sim Nest_virt Netfilter Printf Route Stack Veth

@@ -1,0 +1,1 @@
+lib/container/engine.mli: Bridge Image Ipv4 Nest_net Nest_sim Nest_virt Stack

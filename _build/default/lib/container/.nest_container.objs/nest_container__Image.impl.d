@@ -1,0 +1,1 @@
+lib/container/image.ml: Nest_sim

@@ -1,0 +1,1 @@
+lib/container/image.mli: Nest_sim

@@ -1,0 +1,1 @@
+lib/core/autopilot.ml: Brfusion Hostlo Ipam List Nest_container Nest_net Nest_orch Nest_sim Nest_virt Pod_resources Printf Stack Testbed

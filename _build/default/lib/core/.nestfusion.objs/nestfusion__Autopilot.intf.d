@@ -1,0 +1,1 @@
+lib/core/autopilot.mli: Nest_container Nest_net Nest_orch Nest_sim Pod_resources Stack Testbed

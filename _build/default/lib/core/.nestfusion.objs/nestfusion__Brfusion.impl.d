@@ -1,0 +1,1 @@
+lib/core/brfusion.ml: Ipam Ipv4 List Nest_net Nest_orch Nest_virt Stack

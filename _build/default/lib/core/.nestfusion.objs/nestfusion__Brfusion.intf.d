@@ -1,0 +1,1 @@
+lib/core/brfusion.mli: Ipam Ipv4 Nest_net Nest_orch Nest_virt Stack

@@ -1,0 +1,1 @@
+lib/core/deploy.ml: Brfusion Hostlo Ipv4 List Nest_net Nest_orch Nest_sim Nest_virt Stack Testbed

@@ -1,0 +1,1 @@
+lib/core/deploy.mli: Ipv4 Modes Nest_net Nest_sim Stack Testbed

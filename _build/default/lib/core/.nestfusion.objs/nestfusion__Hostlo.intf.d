@@ -1,0 +1,1 @@
+lib/core/hostlo.mli: Nest_net Nest_orch Nest_virt Tap

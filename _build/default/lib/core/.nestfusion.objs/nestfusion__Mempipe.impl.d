@@ -1,0 +1,1 @@
+lib/core/mempipe.ml: List Nest_net Nest_sim Nest_virt Payload Pod_resources Printf

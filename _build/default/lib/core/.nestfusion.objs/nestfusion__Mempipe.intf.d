@@ -1,0 +1,1 @@
+lib/core/mempipe.mli: Nest_net Nest_virt Pod_resources

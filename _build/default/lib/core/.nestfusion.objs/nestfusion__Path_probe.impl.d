@@ -1,0 +1,1 @@
+lib/core/path_probe.ml: Format Nest_net Packet Payload Stack String

@@ -1,0 +1,1 @@
+lib/core/path_probe.mli: Format Ipv4 Nest_net Stack

@@ -1,0 +1,1 @@
+lib/core/pod_resources.mli:

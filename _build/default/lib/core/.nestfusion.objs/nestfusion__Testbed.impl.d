@@ -1,0 +1,1 @@
+lib/core/testbed.ml: Bridge Ipv4 List Nest_net Nest_orch Nest_sim Nest_virt Printf Stack

@@ -1,0 +1,1 @@
+lib/core/testbed.mli: Bridge Ipv4 Nest_net Nest_orch Nest_sim Nest_virt Stack

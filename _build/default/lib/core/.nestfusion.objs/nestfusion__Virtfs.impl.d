@@ -1,0 +1,1 @@
+lib/core/virtfs.ml: Hashtbl List Nest_sim Nest_virt Option String

@@ -1,0 +1,1 @@
+lib/core/virtfs.mli: Nest_virt

@@ -1,0 +1,39 @@
+(** BrFusion (§3): network virtualization de-duplication.
+
+    Instead of bridging the pod into an in-VM docker0 + NAT layer, the
+    orchestrator asks the VMM — over its management side channel — to
+    hot-plug a fresh virtio NIC into the VM for this pod.  The NIC's
+    host-side backend is enslaved to the host bridge, and the guest-side
+    device is moved straight into the pod's network namespace: the pod is
+    directly linked to the host-level virtual network, with addressing and
+    NAT exactly as the host already does for VMs.
+
+    The four-step protocol of §3.1 maps to this implementation as:
+    + the plugin calls {!Nest_virt.Vmm.hotplug_nic}, naming the target
+      host bridge (steps 1–2: netdev_add + device_add over QMP);
+    + the VMM answers with the new NIC's MAC (step 3);
+    + the plugin, acting as the in-VM agent, waits for the device to
+      appear by that MAC, moves it into the pod namespace and configures
+      address + default route (step 4). *)
+
+open Nest_net
+
+type config = {
+  vmm : Nest_virt.Vmm.t;
+  host_bridge : string;   (** Bridge whose network pods join. *)
+  pod_ipam : Ipam.t;      (** Addresses for pod NICs (host-bridge subnet). *)
+}
+
+val make_config :
+  Nest_virt.Vmm.t -> host_bridge:string -> config
+(** Builds the IPAM from the bridge's subnet, reserving the gateway and
+    already-used VM addresses as callers allocate them through it too. *)
+
+val plugin : config -> Nest_orch.Cni.t
+(** CNI plugin named "brfusion". *)
+
+val pod_ip : config -> Stack.ns -> Ipv4.t option
+(** Address assigned to a pod namespace by this plugin. *)
+
+val hotplug_count : config -> int
+(** NICs provisioned so far (diagnostics). *)

@@ -1,0 +1,169 @@
+open Nest_net
+
+type server_site = {
+  site_ns : Stack.ns;
+  site_addr : Ipv4.t;
+  site_port : int;
+  site_exec : Nest_sim.Exec.t;
+  site_entity : string;
+  site_new_exec : string -> Nest_sim.Exec.t;
+}
+
+let vm_primary_ip vm =
+  let lo = Ipv4.cidr_of_string "127.0.0.0/8" in
+  match
+    List.find_opt
+      (fun (_, ip, _) -> not (Ipv4.in_subnet lo ip))
+      (Stack.addrs (Nest_virt.Vm.ns vm))
+  with
+  | Some (_, ip, _) -> ip
+  | None -> failwith "Deploy: VM has no address"
+
+let deploy_single (tb : Testbed.t) ~mode ~name ~entity ~port ~k =
+  let vm = Testbed.vm tb 0 in
+  let node = Testbed.node tb 0 in
+  let exec = Nest_virt.Vm.new_app_exec vm ~name:(name ^ ":app") ~entity in
+  let site_new_exec n = Nest_virt.Vm.new_app_exec vm ~name:n ~entity in
+  match mode with
+  | `NoCont ->
+    k
+      { site_ns = Nest_virt.Vm.ns vm; site_addr = vm_primary_ip vm;
+        site_port = port; site_exec = exec; site_entity = entity;
+        site_new_exec }
+  | `Nat ->
+    let plugin = Nest_orch.Cni_bridge.plugin () in
+    plugin.Nest_orch.Cni.add ~pod_name:name ~node
+      ~publish:[ (port, port) ]
+      ~k:(fun netns ->
+        k
+          { site_ns = netns; site_addr = vm_primary_ip vm; site_port = port;
+            site_exec = exec; site_entity = entity; site_new_exec })
+  | `Brfusion ->
+    let config = Brfusion.make_config tb.Testbed.vmm ~host_bridge:"virbr0" in
+    let plugin = Brfusion.plugin config in
+    plugin.Nest_orch.Cni.add ~pod_name:name ~node ~publish:[]
+      ~k:(fun netns ->
+        let addr =
+          match Brfusion.pod_ip config netns with
+          | Some ip -> ip
+          | None -> failwith "Deploy: BrFusion assigned no address"
+        in
+        k
+          { site_ns = netns; site_addr = addr; site_port = port;
+            site_exec = exec; site_entity = entity; site_new_exec })
+
+type pair_site = {
+  a_ns : Stack.ns;
+  a_exec : Nest_sim.Exec.t;
+  a_entity : string;
+  b_ns : Stack.ns;
+  b_exec : Nest_sim.Exec.t;
+  b_entity : string;
+  b_addr : Ipv4.t;
+  b_port : int;
+  a_new_exec : string -> Nest_sim.Exec.t;
+  b_new_exec : string -> Nest_sim.Exec.t;
+}
+
+let deploy_pair (tb : Testbed.t) ~mode ~name ~a_entity ~b_entity ~port ~k =
+  let vm_a = Testbed.vm tb 0 in
+  match mode with
+  | `SameNode ->
+    (* Whole pod on one node: a single shared namespace, localhost. *)
+    let pod_ns = Nest_virt.Vm.new_netns vm_a ~name () in
+    let a_exec =
+      Nest_virt.Vm.new_app_exec vm_a ~name:(name ^ ":a") ~entity:a_entity
+    in
+    let b_exec =
+      Nest_virt.Vm.new_app_exec vm_a ~name:(name ^ ":b") ~entity:b_entity
+    in
+    k
+      { a_ns = pod_ns; a_exec; a_entity; b_ns = pod_ns; b_exec; b_entity;
+        b_addr = Ipv4.localhost; b_port = port;
+        a_new_exec =
+          (fun n -> Nest_virt.Vm.new_app_exec vm_a ~name:n ~entity:a_entity);
+        b_new_exec =
+          (fun n -> Nest_virt.Vm.new_app_exec vm_a ~name:n ~entity:b_entity) }
+  | `NatX ->
+    let vm_b = Testbed.vm tb 1 in
+    let a_exec =
+      Nest_virt.Vm.new_app_exec vm_a ~name:(name ^ ":a") ~entity:a_entity
+    in
+    let b_exec =
+      Nest_virt.Vm.new_app_exec vm_b ~name:(name ^ ":b") ~entity:b_entity
+    in
+    let plugin = Nest_orch.Cni_bridge.plugin () in
+    plugin.Nest_orch.Cni.add ~pod_name:(name ^ "-a") ~node:(Testbed.node tb 0)
+      ~publish:[]
+      ~k:(fun a_ns ->
+        plugin.Nest_orch.Cni.add ~pod_name:(name ^ "-b")
+          ~node:(Testbed.node tb 1)
+          ~publish:[ (port, port) ]
+          ~k:(fun b_ns ->
+            k
+              { a_ns; a_exec; a_entity; b_ns; b_exec; b_entity;
+                b_addr = vm_primary_ip vm_b; b_port = port;
+                a_new_exec =
+                  (fun n ->
+                    Nest_virt.Vm.new_app_exec vm_a ~name:n ~entity:a_entity);
+                b_new_exec =
+                  (fun n ->
+                    Nest_virt.Vm.new_app_exec vm_b ~name:n ~entity:b_entity) }))
+  | `Overlay ->
+    let vm_b = Testbed.vm tb 1 in
+    let a_exec =
+      Nest_virt.Vm.new_app_exec vm_a ~name:(name ^ ":a") ~entity:a_entity
+    in
+    let b_exec =
+      Nest_virt.Vm.new_app_exec vm_b ~name:(name ^ ":b") ~entity:b_entity
+    in
+    let net =
+      Nest_orch.Cni_overlay.create ~name:(name ^ "-ov") ~vni:4242
+        ~subnet:(Ipv4.cidr_of_string "10.222.0.0/16")
+    in
+    let plugin = Nest_orch.Cni_overlay.plugin net in
+    plugin.Nest_orch.Cni.add ~pod_name:(name ^ "-a") ~node:(Testbed.node tb 0)
+      ~publish:[]
+      ~k:(fun a_ns ->
+        plugin.Nest_orch.Cni.add ~pod_name:(name ^ "-b")
+          ~node:(Testbed.node tb 1) ~publish:[]
+          ~k:(fun b_ns ->
+            let b_addr =
+              match Nest_orch.Cni_overlay.pod_ip net b_ns with
+              | Some ip -> ip
+              | None -> failwith "Deploy: overlay assigned no address"
+            in
+            k
+              { a_ns; a_exec; a_entity; b_ns; b_exec; b_entity; b_addr;
+                b_port = port;
+                a_new_exec =
+                  (fun n ->
+                    Nest_virt.Vm.new_app_exec vm_a ~name:n ~entity:a_entity);
+                b_new_exec =
+                  (fun n ->
+                    Nest_virt.Vm.new_app_exec vm_b ~name:n ~entity:b_entity) }))
+  | `Hostlo ->
+    let vm_b = Testbed.vm tb 1 in
+    let a_exec =
+      Nest_virt.Vm.new_app_exec vm_a ~name:(name ^ ":a") ~entity:a_entity
+    in
+    let b_exec =
+      Nest_virt.Vm.new_app_exec vm_b ~name:(name ^ ":b") ~entity:b_entity
+    in
+    let config = Hostlo.make_config tb.Testbed.vmm in
+    let plugin = Hostlo.plugin config in
+    plugin.Nest_orch.Cni.add ~pod_name:name ~node:(Testbed.node tb 0)
+      ~publish:[]
+      ~k:(fun a_ns ->
+        plugin.Nest_orch.Cni.add ~pod_name:name ~node:(Testbed.node tb 1)
+          ~publish:[]
+          ~k:(fun b_ns ->
+            k
+              { a_ns; a_exec; a_entity; b_ns; b_exec; b_entity;
+                b_addr = Ipv4.localhost; b_port = port;
+                a_new_exec =
+                  (fun n ->
+                    Nest_virt.Vm.new_app_exec vm_a ~name:n ~entity:a_entity);
+                b_new_exec =
+                  (fun n ->
+                    Nest_virt.Vm.new_app_exec vm_b ~name:n ~entity:b_entity) }))

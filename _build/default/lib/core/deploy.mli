@@ -1,0 +1,54 @@
+(** One-call deployment of the paper's experiment topologies.
+
+    Single-server modes (client on the host, server in/under a VM) build
+    Figs. 2 and 4–7; pod-pair modes (both endpoints containers of one
+    pod) build Figs. 10–15.  Deployment is asynchronous because BrFusion
+    and Hostlo hot-plug devices through the VMM; drive the engine until
+    [k] has fired. *)
+
+open Nest_net
+
+type server_site = {
+  site_ns : Stack.ns;       (** Namespace the server binds in. *)
+  site_addr : Ipv4.t;       (** Address the client must target. *)
+  site_port : int;
+  site_exec : Nest_sim.Exec.t;  (** Application context for the server. *)
+  site_entity : string;
+  site_new_exec : string -> Nest_sim.Exec.t;
+      (** Factory for additional server contexts (worker threads),
+          charged to the same entity. *)
+}
+
+val deploy_single :
+  Testbed.t ->
+  mode:Modes.single ->
+  name:string ->
+  entity:string ->
+  port:int ->
+  k:(server_site -> unit) ->
+  unit
+
+type pair_site = {
+  a_ns : Stack.ns;          (** Client-side fraction. *)
+  a_exec : Nest_sim.Exec.t;
+  a_entity : string;
+  b_ns : Stack.ns;          (** Server-side fraction. *)
+  b_exec : Nest_sim.Exec.t;
+  b_entity : string;
+  b_addr : Ipv4.t;          (** Address fraction A uses to reach B. *)
+  b_port : int;
+  a_new_exec : string -> Nest_sim.Exec.t;
+  b_new_exec : string -> Nest_sim.Exec.t;
+}
+
+val deploy_pair :
+  Testbed.t ->
+  mode:Modes.pair ->
+  name:string ->
+  a_entity:string ->
+  b_entity:string ->
+  port:int ->
+  k:(pair_site -> unit) ->
+  unit
+(** Requires a testbed with at least 2 VMs for [`NatX], [`Overlay] and
+    [`Hostlo]. *)

@@ -1,0 +1,61 @@
+open Nest_net
+
+type config = { vmm : Nest_virt.Vmm.t }
+
+type state = { taps : (string, Tap.t) Hashtbl.t; counts : (string, int) Hashtbl.t }
+
+let states : (config * state) list ref = ref []
+
+let state_of config =
+  match List.find_opt (fun (c, _) -> c == config) !states with
+  | Some (_, s) -> s
+  | None ->
+    let s = { taps = Hashtbl.create 8; counts = Hashtbl.create 8 } in
+    states := (config, s) :: !states;
+    s
+
+let make_config vmm = { vmm }
+
+let lo_subnet = Ipv4.cidr_of_string "127.0.0.0/8"
+
+let plugin config =
+  let add ~pod_name ~node ~publish:_ ~k =
+    let s = state_of config in
+    let vm = Nest_orch.Node.vm node in
+    let tap =
+      match Hashtbl.find_opt s.taps pod_name with
+      | Some tap -> tap
+      | None ->
+        let tap =
+          Nest_virt.Vmm.create_hostlo config.vmm ~name:("hostlo-" ^ pod_name)
+        in
+        Hashtbl.replace s.taps pod_name tap;
+        tap
+    in
+    let n = Option.value (Hashtbl.find_opt s.counts pod_name) ~default:0 in
+    Hashtbl.replace s.counts pod_name (n + 1);
+    (* The fraction gets no regular lo: the Hostlo endpoint *is* its
+       localhost. *)
+    let netns =
+      Nest_virt.Vm.new_netns vm
+        ~name:(Printf.sprintf "%s@%s" pod_name (Nest_virt.Vm.name vm))
+        ~with_loopback:false ()
+    in
+    Nest_virt.Vmm.hotplug_hostlo_endpoint_mac config.vmm ~vm
+      ~hostlo:(Tap.name tap)
+      ~id:(Printf.sprintf "hlo-%s-%d" pod_name n)
+      ~k:(fun mac ->
+        (* The VM agent configures the endpoint as the fraction's
+           localhost (§4.1 step 4). *)
+        Nest_orch.Kubelet.configure_nic
+          (Nest_orch.Kubelet.of_node node)
+          ~netns ~mac ~ip:Ipv4.localhost ~subnet:lo_subnet
+          ~k:(fun _dev -> k netns)
+          ())
+  in
+  { Nest_orch.Cni.cni_name = "hostlo"; add }
+
+let tap_of_pod config pod = Hashtbl.find_opt (state_of config).taps pod
+
+let fractions config pod =
+  Option.value (Hashtbl.find_opt (state_of config).counts pod) ~default:0

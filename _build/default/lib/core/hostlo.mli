@@ -1,0 +1,33 @@
+(** Hostlo (§4): cross-VM pod deployment via a host-backed localhost.
+
+    The pod's private localhost interface is re-implemented as a host
+    loopback TAP multiplexed between the VMs hosting the pod's fractions:
+    one RX/TX queue per VM, every frame written on any queue reflected to
+    all queues.  Each fraction's namespace is created *without* a regular
+    [lo]; the Hostlo endpoint carries 127.0.0.1, so containerized
+    applications use their localhost exactly as in a whole pod — the
+    transport-level transparency the paper claims over adapted-application
+    approaches (§6).
+
+    §4.1's protocol maps to: first fraction -> VMM creates the loopback
+    tap; every fraction -> VMM inserts a queue endpoint as a hot-plugged
+    NIC (netdev_add_hostlo + device_add), the plugin waits for it by MAC
+    (all endpoints share the tap's MAC: it is one interface) and
+    configures it as the fraction's localhost. *)
+
+open Nest_net
+
+type config = { vmm : Nest_virt.Vmm.t }
+
+val make_config : Nest_virt.Vmm.t -> config
+
+val plugin : config -> Nest_orch.Cni.t
+(** CNI plugin named "hostlo".  [add] treats each call for the same pod
+    name as one more fraction: the first creates the loopback tap, later
+    ones reuse it. *)
+
+val tap_of_pod : config -> string -> Tap.t option
+(** The pod's multiplexed loopback device, once created. *)
+
+val fractions : config -> string -> int
+(** Number of endpoints inserted for the pod so far. *)

@@ -1,0 +1,16 @@
+type single = [ `NoCont | `Nat | `Brfusion ]
+type pair = [ `SameNode | `NatX | `Overlay | `Hostlo ]
+
+let single_to_string = function
+  | `NoCont -> "NoCont"
+  | `Nat -> "NAT"
+  | `Brfusion -> "BrFusion"
+
+let pair_to_string = function
+  | `SameNode -> "SameNode"
+  | `NatX -> "NAT"
+  | `Overlay -> "Overlay"
+  | `Hostlo -> "Hostlo"
+
+let all_single = [ `NoCont; `Nat; `Brfusion ]
+let all_pair = [ `SameNode; `NatX; `Overlay; `Hostlo ]

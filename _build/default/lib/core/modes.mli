@@ -1,0 +1,23 @@
+(** Deployment modes evaluated in the paper. *)
+
+type single =
+  [ `NoCont    (** Application directly in the VM (no container) — §5.2 baseline. *)
+  | `Nat      (** Default nested virtualization: docker bridge + NAT in-VM. *)
+  | `Brfusion (** Per-pod hot-plugged NIC on the host bridge (§3). *)
+  ]
+(** Modes for single-server experiments (Figs. 2, 4–8): the client runs
+    on the physical host. *)
+
+type pair =
+  [ `SameNode (** Both containers in one pod namespace in one VM (localhost). *)
+  | `NatX     (** Fractions in separate VMs, via both NAT layers (published port). *)
+  | `Overlay  (** Docker Overlay (VXLAN) between the VMs. *)
+  | `Hostlo   (** Multiplexed host loopback (§4). *)
+  ]
+(** Modes for intra-pod experiments (Figs. 10–15): both endpoints are
+    containers of one pod. *)
+
+val single_to_string : single -> string
+val pair_to_string : pair -> string
+val all_single : single list
+val all_pair : pair list

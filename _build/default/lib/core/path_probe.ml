@@ -1,0 +1,29 @@
+open Nest_net
+
+let udp_path ~src ~dst ~dst_addr ~port ?(size = 64) ~k () =
+  Stack.set_trace_all src true;
+  let server = Stack.Udp.bind dst ~port (fun _ ~src:_ _ -> ()) in
+  Stack.set_observer dst
+    (Some
+       (fun pkt ->
+         match Packet.ports pkt with
+         | Some (_, p) when p = port ->
+           Stack.set_observer dst None;
+           Stack.set_trace_all src false;
+           Stack.Udp.close server;
+           k (Packet.hops pkt)
+         | Some _ | None -> ()));
+  let probe = Stack.Udp.bind src ~port:0 (fun _ ~src:_ _ -> ()) in
+  Stack.Udp.sendto probe ~dst:dst_addr ~dst_port:port (Payload.raw size)
+
+let contains_seq hops expected =
+  let rec go hops expected =
+    match (hops, expected) with
+    | _, [] -> true
+    | [], _ -> false
+    | h :: hs, e :: es -> if String.equal h e then go hs es else go hs expected
+  in
+  go hops expected
+
+let pp_hops fmt hops =
+  Format.fprintf fmt "[%s]" (String.concat " -> " hops)

@@ -1,0 +1,26 @@
+(** Datapath introspection: observe the exact device sequence a packet
+    crosses between two namespaces.  Integration tests use this to assert
+    that each deployment mode produces the hop chain of Fig. 1 — e.g.
+    that BrFusion really removed the in-VM bridge and NAT. *)
+
+open Nest_net
+
+val udp_path :
+  src:Stack.ns ->
+  dst:Stack.ns ->
+  dst_addr:Ipv4.t ->
+  port:int ->
+  ?size:int ->
+  k:(string list -> unit) ->
+  unit ->
+  unit
+(** Sends one traced UDP datagram from [src] to [dst_addr:port] and hands
+    [k] the hop names recorded when it reaches a socket in [dst].  Binds
+    a temporary socket on [dst]; restores tracing and observer state
+    afterwards.  Drive the engine until [k] fires. *)
+
+val contains_seq : string list -> string list -> bool
+(** [contains_seq hops expected] checks that [expected] appears in [hops]
+    in order (not necessarily contiguously). *)
+
+val pp_hops : Format.formatter -> string list -> unit

@@ -1,0 +1,1 @@
+lib/costsim/aws.ml: Format List

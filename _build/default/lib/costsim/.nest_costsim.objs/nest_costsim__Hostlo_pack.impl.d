@@ -1,0 +1,1 @@
+lib/costsim/hostlo_pack.ml: Aws Kube_pack List Nest_traces

@@ -1,0 +1,1 @@
+lib/costsim/hostlo_pack.mli: Kube_pack Nest_traces

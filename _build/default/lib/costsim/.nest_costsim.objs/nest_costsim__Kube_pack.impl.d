@@ -1,0 +1,1 @@
+lib/costsim/kube_pack.ml: Aws List Nest_traces Printf

@@ -1,0 +1,1 @@
+lib/costsim/kube_pack.mli: Aws Nest_traces

@@ -1,0 +1,1 @@
+lib/costsim/report.ml: Array Float Format Hostlo_pack Kube_pack List Nest_sim Nest_traces

@@ -1,0 +1,1 @@
+lib/costsim/report.mli: Format Nest_traces

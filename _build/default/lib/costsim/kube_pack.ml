@@ -1,0 +1,121 @@
+type vm = {
+  vm_id : int;
+  vm_model : Aws.model;
+  mutable contents : (int * Nest_traces.Trace.container_req) list;
+  mutable used_cpu : float;
+  mutable used_mem : float;
+}
+
+type plan = { plan_user : Nest_traces.Trace.user; mutable vms : vm list }
+
+let epsilon = 1e-9
+
+let vm_free_cpu v = Aws.rel_cpu v.vm_model -. v.used_cpu
+let vm_free_mem v = Aws.rel_mem v.vm_model -. v.used_mem
+
+let vm_requested_fraction v =
+  ((v.used_cpu /. Aws.rel_cpu v.vm_model)
+  +. (v.used_mem /. Aws.rel_mem v.vm_model))
+  /. 2.0
+
+let fits v ~cpu ~mem =
+  vm_free_cpu v +. epsilon >= cpu && vm_free_mem v +. epsilon >= mem
+
+let place v pod_id (c : Nest_traces.Trace.container_req) =
+  v.contents <- (pod_id, c) :: v.contents;
+  v.used_cpu <- v.used_cpu +. c.Nest_traces.Trace.c_cpu;
+  v.used_mem <- v.used_mem +. c.Nest_traces.Trace.c_mem
+
+type policy = Most_requested | Least_requested | First_fit
+
+let pack_user ?(policy = Most_requested) user =
+  let plan = { plan_user = user; vms = [] } in
+  let next_id = ref 0 in
+  let pods =
+    List.sort
+      (fun a b ->
+        compare
+          (Nest_traces.Trace.pod_cpu b +. Nest_traces.Trace.pod_mem b)
+          (Nest_traces.Trace.pod_cpu a +. Nest_traces.Trace.pod_mem a))
+      user.Nest_traces.Trace.pods
+  in
+  List.iter
+    (fun pod ->
+      let cpu = Nest_traces.Trace.pod_cpu pod and mem = Nest_traces.Trace.pod_mem pod in
+      (* (3a) placement policy over bought VMs. *)
+      let better v b =
+        match policy with
+        | Most_requested -> vm_requested_fraction v > vm_requested_fraction b
+        | Least_requested -> vm_requested_fraction v < vm_requested_fraction b
+        | First_fit -> false
+      in
+      let best =
+        List.fold_left
+          (fun acc v ->
+            if not (fits v ~cpu ~mem) then acc
+            else
+              match acc with
+              | None -> Some v
+              | Some b -> if better v b then Some v else acc)
+          None plan.vms
+      in
+      let target =
+        match best with
+        | Some v -> v
+        | None -> (
+          (* (3b) buy the cheapest model hosting the whole pod. *)
+          match Aws.cheapest_fitting ~cpu ~mem with
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "Kube_pack: pod %d of user %d exceeds the largest model"
+                 pod.Nest_traces.Trace.p_id user.Nest_traces.Trace.u_id)
+          | Some model ->
+            incr next_id;
+            let v =
+              { vm_id = !next_id; vm_model = model; contents = [];
+                used_cpu = 0.0; used_mem = 0.0 }
+            in
+            plan.vms <- v :: plan.vms;
+            v)
+      in
+      List.iter (fun c -> place target pod.Nest_traces.Trace.p_id c) pod.Nest_traces.Trace.p_containers)
+    pods;
+  plan
+
+let plan_cost plan =
+  List.fold_left
+    (fun acc v -> acc +. v.vm_model.Aws.price_per_hour)
+    0.0 plan.vms
+
+let plan_vm_count plan = List.length plan.vms
+
+let copy_plan plan =
+  { plan with
+    vms =
+      List.map
+        (fun v ->
+          { v with contents = v.contents })
+        plan.vms }
+
+let check_invariants plan =
+  List.iter
+    (fun v ->
+      let cpu =
+        List.fold_left (fun a (_, c) -> a +. c.Nest_traces.Trace.c_cpu) 0.0 v.contents
+      and mem =
+        List.fold_left (fun a (_, c) -> a +. c.Nest_traces.Trace.c_mem) 0.0 v.contents
+      in
+      if abs_float (cpu -. v.used_cpu) > 1e-6
+         || abs_float (mem -. v.used_mem) > 1e-6 then
+        failwith "Kube_pack: usage accounting drifted";
+      if
+        v.used_cpu > Aws.rel_cpu v.vm_model +. 1e-6
+        || v.used_mem > Aws.rel_mem v.vm_model +. 1e-6
+      then failwith "Kube_pack: VM overcommitted")
+    plan.vms;
+  let placed =
+    List.fold_left (fun a v -> a + List.length v.contents) 0 plan.vms
+  in
+  if placed <> Nest_traces.Trace.user_containers plan.plan_user then
+    failwith "Kube_pack: containers lost or duplicated"

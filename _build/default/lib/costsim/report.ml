@@ -1,0 +1,102 @@
+type outcome = {
+  user_id : int;
+  kube_cost : float;
+  hostlo_cost : float;
+  kube_vms : int;
+  hostlo_vms : int;
+  saving : float;
+  rel_saving : float;
+}
+
+type summary = {
+  users : int;
+  users_with_savings : int;
+  frac_with_savings : float;
+  frac_savers_over_5pct : float;
+  max_rel_saving : float;
+  max_abs_saving : float;
+  max_abs_saving_rel : float;
+  total_kube_cost : float;
+  total_hostlo_cost : float;
+}
+
+let evaluate_user user =
+  let base = Kube_pack.pack_user user in
+  Kube_pack.check_invariants base;
+  let kube_cost = Kube_pack.plan_cost base in
+  let kube_vms = Kube_pack.plan_vm_count base in
+  let plan, _stats = Hostlo_pack.improve_copy base in
+  let hostlo_cost = Kube_pack.plan_cost plan in
+  let saving = Float.max 0.0 (kube_cost -. hostlo_cost) in
+  { user_id = user.Nest_traces.Trace.u_id; kube_cost; hostlo_cost; kube_vms;
+    hostlo_vms = Kube_pack.plan_vm_count plan; saving;
+    rel_saving = (if kube_cost > 0.0 then saving /. kube_cost else 0.0) }
+
+let evaluate users = List.map evaluate_user users
+
+let summarize outcomes =
+  let users = List.length outcomes in
+  let savers = List.filter (fun o -> o.saving > 1e-9) outcomes in
+  let users_with_savings = List.length savers in
+  let over5 = List.filter (fun o -> o.rel_saving > 0.05) savers in
+  let max_rel =
+    List.fold_left (fun a o -> Float.max a o.rel_saving) 0.0 outcomes
+  in
+  let best_abs =
+    List.fold_left
+      (fun acc o ->
+        match acc with
+        | Some b when b.saving >= o.saving -> acc
+        | _ -> Some o)
+      None outcomes
+  in
+  let max_abs, max_abs_rel =
+    match best_abs with
+    | Some o -> (o.saving, o.rel_saving)
+    | None -> (0.0, 0.0)
+  in
+  { users;
+    users_with_savings;
+    frac_with_savings =
+      (if users = 0 then 0.0
+       else float_of_int users_with_savings /. float_of_int users);
+    frac_savers_over_5pct =
+      (if users_with_savings = 0 then 0.0
+       else float_of_int (List.length over5) /. float_of_int users_with_savings);
+    max_rel_saving = max_rel;
+    max_abs_saving = max_abs;
+    max_abs_saving_rel = max_abs_rel;
+    total_kube_cost = List.fold_left (fun a o -> a +. o.kube_cost) 0.0 outcomes;
+    total_hostlo_cost =
+      List.fold_left (fun a o -> a +. o.hostlo_cost) 0.0 outcomes }
+
+let savings_histogram outcomes ~bins =
+  let savers = List.filter (fun o -> o.saving > 1e-9) outcomes in
+  let max_rel =
+    List.fold_left (fun a o -> Float.max a o.rel_saving) 0.0 savers
+  in
+  if savers = [] || max_rel <= 0.0 then []
+  else begin
+    let h = Nest_sim.Stats.Histogram.create ~lo:0.0 ~hi:max_rel ~bins in
+    List.iter (fun o -> Nest_sim.Stats.Histogram.add h o.rel_saving) savers;
+    Array.to_list (Nest_sim.Stats.Histogram.counts h)
+    |> List.mapi (fun i c ->
+           let lo, hi = Nest_sim.Stats.Histogram.bin_bounds h i in
+           (lo, hi, c))
+  end
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>users: %d@,\
+     users with savings: %d (%.1f%%)@,\
+     savers above 5%%: %.1f%%@,\
+     max relative saving: %.1f%%@,\
+     max absolute saving: %.2f $/h (a %.1f%% reduction)@,\
+     fleet cost: %.2f -> %.2f $/h@]"
+    s.users s.users_with_savings
+    (100.0 *. s.frac_with_savings)
+    (100.0 *. s.frac_savers_over_5pct)
+    (100.0 *. s.max_rel_saving)
+    s.max_abs_saving
+    (100.0 *. s.max_abs_saving_rel)
+    s.total_kube_cost s.total_hostlo_cost

@@ -1,0 +1,33 @@
+(** Per-user cost outcomes and the Fig. 9 aggregation. *)
+
+type outcome = {
+  user_id : int;
+  kube_cost : float;      (** $/h under whole-pod scheduling. *)
+  hostlo_cost : float;    (** $/h after the Hostlo pass. *)
+  kube_vms : int;
+  hostlo_vms : int;
+  saving : float;         (** $/h saved (>= 0). *)
+  rel_saving : float;     (** saving / kube_cost, in [0,1]. *)
+}
+
+type summary = {
+  users : int;
+  users_with_savings : int;
+  frac_with_savings : float;          (** Paper: ~11.4 %. *)
+  frac_savers_over_5pct : float;      (** Paper: ~66.7 % of savers. *)
+  max_rel_saving : float;             (** Paper: ~40 %. *)
+  max_abs_saving : float;             (** Paper: ~237 $/h. *)
+  max_abs_saving_rel : float;         (** Paper: ~35 %. *)
+  total_kube_cost : float;
+  total_hostlo_cost : float;
+}
+
+val evaluate_user : Nest_traces.Trace.user -> outcome
+val evaluate : Nest_traces.Trace.user list -> outcome list
+val summarize : outcome list -> summary
+
+val savings_histogram : outcome list -> bins:int -> (float * float * int) list
+(** [(lo, hi, count)] over relative savings of the *saving* users —
+    Fig. 9's frequency plot (bins over (0, max]). *)
+
+val pp_summary : Format.formatter -> summary -> unit

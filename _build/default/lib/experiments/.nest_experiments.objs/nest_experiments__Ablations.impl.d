@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Deploy Exp_util Hostlo Ipv4 List Nest_costsim Nest_net Nest_orch Nest_sim Nest_traces Nest_virt Nest_workloads Nestfusion Netfilter Option Printf Stack Testbed

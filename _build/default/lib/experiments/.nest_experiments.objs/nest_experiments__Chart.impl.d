@@ -1,0 +1,1 @@
+lib/experiments/chart.ml: Array Buffer Bytes Float List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/exp_util.ml: Deploy Modes Nest_sim Nestfusion Printf String Testbed

@@ -1,0 +1,1 @@
+lib/experiments/exp_util.mli: Deploy Modes Nest_sim Nestfusion Testbed

@@ -1,0 +1,1 @@
+lib/experiments/ext_autopilot.ml: Autopilot Exp_util List Nest_orch Nest_sim Nestfusion Printf Testbed

@@ -1,0 +1,1 @@
+lib/experiments/ext_mempipe.ml: Exp_util List Mempipe Nest_net Nest_sim Nest_virt Nest_workloads Nestfusion Pod_resources Printf Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig_boot.ml: Chart Exp_util Ipv4 List Nest_container Nest_net Nest_orch Nest_sim Nest_virt Nestfusion Printf Route Stack Testbed

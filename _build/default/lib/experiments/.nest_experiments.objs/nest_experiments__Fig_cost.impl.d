@@ -1,0 +1,1 @@
+lib/experiments/fig_cost.ml: Exp_util Format List Nest_costsim Nest_traces Printf String

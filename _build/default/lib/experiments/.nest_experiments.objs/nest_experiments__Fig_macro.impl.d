@@ -1,0 +1,1 @@
+lib/experiments/fig_macro.ml: Exp_util List Modes Nest_sim Nest_workloads Nestfusion Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig_netperf.ml: Chart Exp_util List Modes Nest_sim Nest_workloads Nestfusion Printf

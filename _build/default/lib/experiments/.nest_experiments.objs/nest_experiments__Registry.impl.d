@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Ext_autopilot Ext_mempipe Fig_boot Fig_cost Fig_cpu Fig_macro Fig_netperf List

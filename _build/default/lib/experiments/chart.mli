@@ -1,0 +1,20 @@
+(** Terminal charts for the experiment harness: the tables stay the
+    ground truth, but a curve per figure makes who-wins-where readable at
+    a glance in CI logs. *)
+
+val plot :
+  title:string ->
+  y_label:string ->
+  x_labels:string list ->
+  series:(string * float list) list ->
+  ?height:int ->
+  ?width:int ->
+  unit ->
+  string
+(** Categorical-x line chart: every series has one value per x label
+    (shorter series are right-padded with gaps).  [height] defaults to
+    12 rows, [width] to 72 columns of plot area.  Returns the rendered
+    block (with legend); raises [Invalid_argument] on empty input. *)
+
+val markers : char list
+(** Marker cycle, in series order. *)

@@ -1,0 +1,41 @@
+open Nestfusion
+module Time = Nest_sim.Time
+
+type durations = { warmup : Time.ns; measure : Time.ns }
+
+let durations ~quick =
+  if quick then { warmup = Time.ms 50; measure = Time.ms 250 }
+  else { warmup = Time.ms 100; measure = Time.sec 1 }
+
+let deploy_single_sync ?(seed = 42L) ~mode ~port () =
+  let tb = Testbed.create ~seed ~num_vms:1 () in
+  let site = ref None in
+  Deploy.deploy_single tb ~mode ~name:"pod" ~entity:"server" ~port
+    ~k:(fun s -> site := Some s);
+  Testbed.run_until tb (Time.sec 1);
+  match !site with
+  | Some s -> (tb, s)
+  | None ->
+    failwith
+      ("deploy_single_sync: deployment stuck in mode "
+      ^ Modes.single_to_string mode)
+
+let deploy_pair_sync ?(seed = 42L) ~mode ~port () =
+  let tb = Testbed.create ~seed ~num_vms:2 () in
+  let site = ref None in
+  Deploy.deploy_pair tb ~mode ~name:"pod" ~a_entity:"client-ctr"
+    ~b_entity:"server-ctr" ~port ~k:(fun s -> site := Some s);
+  Testbed.run_until tb (Time.sec 1);
+  match !site with
+  | Some s -> (tb, s)
+  | None ->
+    failwith
+      ("deploy_pair_sync: deployment stuck in mode " ^ Modes.pair_to_string mode)
+
+let header title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let row s = print_endline s
+let kv k v = Printf.printf "  %-42s %s\n" k v
+let pct a b = if b = 0.0 then 0.0 else 100.0 *. (a -. b) /. b

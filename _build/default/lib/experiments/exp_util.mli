@@ -1,0 +1,29 @@
+(** Shared helpers for the experiment harness. *)
+
+open Nestfusion
+
+type durations = {
+  warmup : Nest_sim.Time.ns;
+  measure : Nest_sim.Time.ns;
+}
+
+val durations : quick:bool -> durations
+(** quick: 50 ms / 250 ms; full: 100 ms / 1 s. *)
+
+val deploy_single_sync :
+  ?seed:int64 -> mode:Modes.single -> port:int -> unit ->
+  Testbed.t * Deploy.server_site
+(** Fresh testbed; drives the engine until deployment completes. *)
+
+val deploy_pair_sync :
+  ?seed:int64 -> mode:Modes.pair -> port:int -> unit ->
+  Testbed.t * Deploy.pair_site
+
+val header : string -> unit
+(** Prints a boxed section header. *)
+
+val row : string -> unit
+val kv : string -> string -> unit
+
+val pct : float -> float -> float
+(** [pct a b] = 100 × (a − b) / b. *)

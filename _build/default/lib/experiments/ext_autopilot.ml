@@ -1,0 +1,61 @@
+open Nestfusion
+module Time = Nest_sim.Time
+module Pod = Nest_orch.Pod
+module Node = Nest_orch.Node
+
+let make_pods ~quick rng =
+  let n = if quick then 14 else 30 in
+  List.init n (fun i ->
+      let containers = 2 + Nest_sim.Prng.int rng 2 in
+      Pod.make
+        ~name:(Printf.sprintf "pod%d" i)
+        (List.init containers (fun j ->
+             Pod.container
+               ~name:(Printf.sprintf "c%d" j)
+               ~cpu:(1.0 +. Nest_sim.Prng.range_float rng 0.0 0.6)
+               ~mem:(0.3 +. Nest_sim.Prng.range_float rng 0.0 0.4)
+               ())))
+
+let drive ~allow_split ~pods =
+  let tb = Testbed.create ~num_vms:1 () in
+  let ap = Autopilot.create tb ~allow_split ~provision_delay:(Time.sec 30) () in
+  List.iter
+    (fun pod ->
+      let done_ = ref false in
+      Autopilot.deploy ap pod ~on_ready:(fun _ -> done_ := true);
+      Testbed.run_until tb
+        (Nest_sim.Engine.now tb.Testbed.engine + Time.sec 400);
+      if not !done_ then
+        failwith ("ext-autopilot: deployment stuck for " ^ pod.Pod.pod_name))
+    pods;
+  let fleet = Autopilot.nodes ap in
+  let cap = List.fold_left (fun a n -> a +. Node.cpu_capacity n) 0.0 fleet in
+  let req = List.fold_left (fun a n -> a +. Node.cpu_requested n) 0.0 fleet in
+  ( List.length fleet,
+    Autopilot.vms_bought ap,
+    Autopilot.pods_split ap,
+    100.0 *. req /. cap )
+
+let run ~quick =
+  Exp_util.header
+    "Extension (paper 7) - integrated orchestrator: Hostlo splitting vs whole-pod";
+  let rng = Nest_sim.Prng.create 77L in
+  let pods = make_pods ~quick rng in
+  Printf.printf "workload: %d pods, %.1f vCPU total requested\n"
+    (List.length pods)
+    (List.fold_left (fun a p -> a +. Pod.cpu_total p) 0.0 pods);
+  let rows =
+    [ ("whole-pod only", drive ~allow_split:false ~pods);
+      ("with Hostlo splitting", drive ~allow_split:true ~pods) ]
+  in
+  Printf.printf "%-22s %8s %10s %8s %12s\n" "mode" "fleet" "VMs bought"
+    "splits" "cpu util";
+  List.iter
+    (fun (name, (fleet, bought, splits, util)) ->
+      Printf.printf "%-22s %8d %10d %8d %11.1f%%\n" name fleet bought splits
+        util)
+    rows;
+  let _, (_, b0, _, u0) = List.nth rows 0 in
+  let _, (_, b1, _, u1) = List.nth rows 1 in
+  Exp_util.kv "VMs saved by cross-VM deployment"
+    (Printf.sprintf "%d (utilization %+.1f points)" (b0 - b1) (u1 -. u0))

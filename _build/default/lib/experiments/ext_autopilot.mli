@@ -1,0 +1,10 @@
+(** Extension experiment (paper §7): the integrated orchestrator.
+
+    Streams a synthetic arrival of pods into two autopilots — one allowed
+    to split pods across VMs via Hostlo, one restricted to whole-pod
+    placement — and compares fleet size, requested-resource utilization
+    and (m5.large-equivalent) fleet cost.  This quantifies the paper's
+    closing claim: with the VMM as an orchestrator tool, cross-VM pods
+    turn fragmentation into capacity. *)
+
+val run : quick:bool -> unit

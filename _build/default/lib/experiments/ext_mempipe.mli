@@ -1,0 +1,9 @@
+(** Extension experiment (paper §6): MemPipe vs Hostlo vs SameNode for
+    intra-pod request/response traffic.
+
+    Quantifies the trade-off the related-work section argues: a
+    shared-memory transport beats the multiplexed loopback on latency,
+    but only by abandoning socket transparency — Hostlo keeps unmodified
+    applications. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,16 @@
+(** Fig. 8 — container start-up time, Docker NAT vs BrFusion.
+
+    100 sequential container boots per configuration on a fresh testbed;
+    the BrFusion path performs a *live* QMP hot-plug (netdev_add +
+    device_add + in-guest probe), the NAT path pays the sampled veth +
+    docker0 + iptables setup.  Start-up time is order-to-first-message,
+    as defined in §5.2.4; the simulated clock plays the TSC's role of an
+    absolute cross-boundary clock. *)
+
+val boot_samples :
+  mode:[ `Nat | `Brfusion ] -> runs:int -> seed:int64 -> float list
+(** Start-up times in milliseconds. *)
+
+val fig8 : quick:bool -> unit
+(** Prints CDF excerpts and the Fig. 8b-style statistics; quick mode
+    runs 40 boots instead of 100. *)

@@ -1,0 +1,6 @@
+(** Table 2 and Fig. 9 — the Hostlo money-saving simulation. *)
+
+val table2 : unit -> unit
+
+val fig9 : quick:bool -> unit
+(** Full mode: 492 users (the paper's population); quick: 150. *)

@@ -1,0 +1,161 @@
+open Nestfusion
+module App = Nest_workloads.App
+module Cpu_snap = Nest_workloads.App.Cpu_snap
+module Cpu_account = Nest_sim.Cpu_account
+
+type breakdown = {
+  app_usr : float;      (** Server application cores. *)
+  client_usr : float;   (** Client application cores. *)
+  vm_sys : float;       (** Guest kernel process-context cores (all VMs). *)
+  vm_soft : float;      (** Guest softirq cores (all VMs). *)
+  host_guest : float;   (** Host CPU given to guests. *)
+  host_sys : float;     (** Host kernel (vhost and friends). *)
+  host_soft : float;    (** Host softirq (bridges, taps). *)
+}
+
+let total b =
+  b.app_usr +. b.client_usr +. b.vm_sys +. b.vm_soft +. b.host_sys
+  +. b.host_soft
+
+(* Bracket a workload run with accounting snapshots.  [vms] lists the
+   guest entities, [server]/[client] the application entities. *)
+let measure tb ~vms ~server ~client ~window run =
+  let acct = tb.Testbed.acct in
+  let before = Cpu_snap.take acct in
+  run ();
+  let after = Cpu_snap.take acct in
+  let cores entity cat =
+    Cpu_snap.diff_cores ~before ~after ~entity cat ~window
+  in
+  let sum_vm cat = List.fold_left (fun a vm -> a +. cores vm cat) 0.0 vms in
+  { app_usr = cores server Cpu_account.Usr;
+    client_usr = cores client Cpu_account.Usr;
+    vm_sys = sum_vm Cpu_account.Sys;
+    vm_soft = sum_vm Cpu_account.Soft;
+    host_guest = cores "host" Cpu_account.Guest;
+    host_sys = cores "host" Cpu_account.Sys;
+    host_soft = cores "host" Cpu_account.Soft }
+
+let print_table rows =
+  Printf.printf "%-10s %8s %8s %8s %8s %8s %8s %8s %8s\n" "mode" "app.usr"
+    "cli.usr" "vm.sys" "vm.soft" "h.guest" "h.sys" "h.soft" "total";
+  List.iter
+    (fun (name, b) ->
+      Printf.printf "%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n"
+        name b.app_usr b.client_usr b.vm_sys b.vm_soft b.host_guest b.host_sys
+        b.host_soft (total b))
+    rows
+
+let window_of ~quick =
+  let d = Exp_util.durations ~quick in
+  d.Exp_util.warmup + d.Exp_util.measure
+
+let single_breakdown ~quick ~port ~runner mode =
+  let tb, site = Exp_util.deploy_single_sync ~mode ~port () in
+  let ep = App.of_single tb site in
+  measure tb ~vms:[ "vm1" ] ~server:"server" ~client:Testbed.client_entity
+    ~window:(window_of ~quick)
+    (fun () -> runner tb ep mode)
+
+let pair_breakdown ~quick ~port ~runner mode =
+  let tb, site = Exp_util.deploy_pair_sync ~mode ~port () in
+  let ep = App.of_pair site in
+  measure tb ~vms:[ "vm1"; "vm2" ] ~server:"server-ctr" ~client:"client-ctr"
+    ~window:(window_of ~quick)
+    (fun () -> runner tb ep mode)
+
+let kafka_runner ~quick tb ep mode =
+  let d = Exp_util.durations ~quick in
+  ignore
+    (Nest_workloads.Kafka.run tb ep
+       ~containerized:(mode <> `NoCont)
+       ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ())
+
+let nginx_runner ~quick ~containerized_of tb ep mode =
+  let d = Exp_util.durations ~quick in
+  ignore
+    (Nest_workloads.Nginx.run tb ep ~containerized:(containerized_of mode)
+       ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ())
+
+let memcached_runner ~quick tb ep _mode =
+  let d = Exp_util.durations ~quick in
+  ignore
+    (Nest_workloads.Memcached.run tb ep ~warmup:d.Exp_util.warmup
+       ~duration:d.Exp_util.measure ())
+
+let fig6 ~quick =
+  Exp_util.header "Fig. 6 — Kafka CPU breakdown (cores busy)";
+  let rows =
+    List.map
+      (fun mode ->
+        ( Modes.single_to_string mode,
+          single_breakdown ~quick ~port:9092 ~runner:(kafka_runner ~quick) mode
+        ))
+      Modes.all_single
+  in
+  print_table rows;
+  let soft name = (List.assoc name rows).vm_soft in
+  Exp_util.kv "BrFusion vs NAT guest softirq CPU (paper: -67.0%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (soft "BrFusion") (soft "NAT")))
+
+let fig7 ~quick =
+  Exp_util.header "Fig. 7 — NGINX CPU breakdown (cores busy)";
+  let rows =
+    List.map
+      (fun mode ->
+        ( Modes.single_to_string mode,
+          single_breakdown ~quick ~port:80
+            ~runner:(nginx_runner ~quick ~containerized_of:(fun m -> m <> `NoCont))
+            mode ))
+      Modes.all_single
+  in
+  print_table rows;
+  let soft name = (List.assoc name rows).vm_soft in
+  Exp_util.kv "BrFusion vs NAT guest softirq CPU (paper: larger than Kafka's)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (soft "BrFusion") (soft "NAT")))
+
+let fig14 ~quick =
+  Exp_util.header "Fig. 14 — Memcached CPU usage, intra-pod modes (cores busy)";
+  let rows =
+    List.map
+      (fun mode ->
+        ( Modes.pair_to_string mode,
+          pair_breakdown ~quick ~port:11211 ~runner:(memcached_runner ~quick)
+            mode ))
+      Modes.all_pair
+  in
+  print_table rows;
+  let b name = List.assoc name rows in
+  let kernel x = x.vm_sys +. x.vm_soft in
+  Exp_util.kv "Hostlo vs SameNode client+server kernel CPU (paper: +46.7%)"
+    (Printf.sprintf "%+.1f%%"
+       (Exp_util.pct (kernel (b "Hostlo")) (kernel (b "SameNode"))));
+  Exp_util.kv "Hostlo vs SameNode total CPU (paper: +53.2%)"
+    (Printf.sprintf "%+.1f%%"
+       (Exp_util.pct (total (b "Hostlo")) (total (b "SameNode"))));
+  Exp_util.kv "Hostlo vs SameNode host guest-time (paper: +89.8%)"
+    (Printf.sprintf "%+.1f%%"
+       (Exp_util.pct (b "Hostlo").host_guest (b "SameNode").host_guest));
+  Exp_util.kv "host sys cores under Hostlo (paper: ~1.68, also NAT/Overlay)"
+    (Printf.sprintf "%.2f / NAT %.2f / Overlay %.2f" (b "Hostlo").host_sys
+       (b "NAT").host_sys (b "Overlay").host_sys)
+
+let fig15 ~quick =
+  Exp_util.header "Fig. 15 — NGINX CPU usage, intra-pod modes (cores busy)";
+  let rows =
+    List.map
+      (fun mode ->
+        ( Modes.pair_to_string mode,
+          pair_breakdown ~quick ~port:80
+            ~runner:(nginx_runner ~quick ~containerized_of:(fun _ -> true))
+            mode ))
+      Modes.all_pair
+  in
+  print_table rows;
+  let b name = List.assoc name rows in
+  let apps x = x.app_usr +. x.client_usr +. x.vm_sys +. x.vm_soft in
+  Exp_util.kv "Hostlo vs SameNode client+server CPU (paper: +17.1%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (apps (b "Hostlo")) (apps (b "SameNode"))));
+  Exp_util.kv "Hostlo vs SameNode guest CPU (paper: +36.9%)"
+    (Printf.sprintf "%+.1f%%"
+       (Exp_util.pct (b "Hostlo").host_guest (b "SameNode").host_guest))

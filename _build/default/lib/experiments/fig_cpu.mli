@@ -1,0 +1,18 @@
+(** CPU-usage breakdowns: Figs. 6, 7 (BrFusion) and 14, 15 (Hostlo).
+
+    Breakdowns come from the same {!Nest_sim.Cpu_account} bookkeeping
+    that the datapath charges, bracketed around the workload run:
+    application [usr], guest-kernel [sys]/[soft] per VM, host [guest]
+    (KVM time given to guests) and host [sys] (vhost workers). *)
+
+val fig6 : quick:bool -> unit
+(** Kafka CPU breakdown across NoCont / NAT / BrFusion. *)
+
+val fig7 : quick:bool -> unit
+(** NGINX CPU breakdown (same axes, larger magnitude). *)
+
+val fig14 : quick:bool -> unit
+(** Memcached CPU usage across the four intra-pod modes. *)
+
+val fig15 : quick:bool -> unit
+(** NGINX CPU usage across the four intra-pod modes. *)

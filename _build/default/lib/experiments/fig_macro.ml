@@ -1,0 +1,139 @@
+open Nestfusion
+module Stats = Nest_sim.Stats
+module App = Nest_workloads.App
+module Memcached = Nest_workloads.Memcached
+module Nginx = Nest_workloads.Nginx
+module Kafka = Nest_workloads.Kafka
+
+let table1 () =
+  Exp_util.header "Table 1 — macro-benchmarks: parameters and metrics";
+  Printf.printf "%-11s %-28s %-46s %s\n" "Application" "Benchmark" "Parameters"
+    "Metrics";
+  Printf.printf "%-11s %-28s %-46s %s\n" "Memcached" "memtier_benchmark"
+    "4 threads, 50 conn/thread, SET:GET=1:10" "Responses/s, latency";
+  Printf.printf "%-11s %-28s %-46s %s\n" "NGINX" "wrk2"
+    "2 threads, 100 conn total, 10k req/s on 1kB file" "Latency";
+  Printf.printf "%-11s %-28s %-46s %s\n" "Kafka" "kafka-producer-perf-test"
+    "120000 msg/s, 100B messages, batch size 8192B" "Latency"
+
+type single_macro = {
+  mc_resp_s : float;
+  mc_lat : float * float;    (* mean, sd (us) *)
+  ng_lat : float * float;
+  kf_lat : float * float;
+}
+
+let run_single_mode ~quick mode =
+  let d = Exp_util.durations ~quick in
+  let run_mc () =
+    let tb, site = Exp_util.deploy_single_sync ~mode ~port:11211 () in
+    let ep = App.of_single tb site in
+    Memcached.run tb ep ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ()
+  in
+  let run_ng () =
+    let tb, site = Exp_util.deploy_single_sync ~mode ~port:80 () in
+    let ep = App.of_single tb site in
+    Nginx.run tb ep ~containerized:(mode <> `NoCont) ~warmup:d.Exp_util.warmup
+      ~duration:d.Exp_util.measure ()
+  in
+  let run_kf () =
+    let tb, site = Exp_util.deploy_single_sync ~mode ~port:9092 () in
+    let ep = App.of_single tb site in
+    Kafka.run tb ep ~containerized:(mode <> `NoCont) ~warmup:d.Exp_util.warmup
+      ~duration:d.Exp_util.measure ()
+  in
+  let mc = run_mc () and ng = run_ng () and kf = run_kf () in
+  { mc_resp_s = mc.Memcached.responses_per_sec;
+    mc_lat = (Stats.mean mc.Memcached.latency, Stats.stddev mc.Memcached.latency);
+    ng_lat = (Stats.mean ng.Nginx.latency, Stats.stddev ng.Nginx.latency);
+    kf_lat = (Stats.mean kf.Kafka.latency, Stats.stddev kf.Kafka.latency) }
+
+let fig5 ~quick =
+  Exp_util.header "Fig. 5 — BrFusion macro-benchmark gain";
+  let results =
+    List.map (fun m -> (m, run_single_mode ~quick m)) Modes.all_single
+  in
+  Printf.printf "%-10s %14s %18s %18s %18s\n" "mode" "mc resp/s"
+    "mc lat us (sd)" "nginx lat us (sd)" "kafka lat us (sd)";
+  List.iter
+    (fun (m, r) ->
+      let f (mean, sd) = Printf.sprintf "%9.0f (%5.0f)" mean sd in
+      Printf.printf "%-10s %14.0f %18s %18s %18s\n" (Modes.single_to_string m)
+        r.mc_resp_s (f r.mc_lat) (f r.ng_lat) (f r.kf_lat))
+    results;
+  let get m = List.assoc m results in
+  let kf m = fst (get m).kf_lat and ng m = fst (get m).ng_lat in
+  Exp_util.kv "Kafka: BrFusion vs NAT latency (paper: -11.8%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (kf `Brfusion) (kf `Nat)));
+  Exp_util.kv "Kafka: BrFusion vs NoCont latency (paper: +13.1%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (kf `Brfusion) (kf `NoCont)));
+  Exp_util.kv "NGINX: BrFusion vs NAT latency (paper: -30.1%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (ng `Brfusion) (ng `Nat)));
+  Exp_util.kv "NGINX: BrFusion vs NoCont latency (paper: +120.3%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (ng `Brfusion) (ng `NoCont)))
+
+let run_pair_mc ~quick mode =
+  let d = Exp_util.durations ~quick in
+  let tb, site = Exp_util.deploy_pair_sync ~mode ~port:11211 () in
+  let ep = App.of_pair site in
+  Memcached.run tb ep ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ()
+
+let fig11 ~quick =
+  Exp_util.header "Fig. 11 — Memcached throughput, intra-pod modes";
+  let results = List.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair in
+  Printf.printf "%-10s %14s\n" "mode" "responses/s";
+  List.iter
+    (fun (m, r) ->
+      Printf.printf "%-10s %14.0f\n" (Modes.pair_to_string m)
+        r.Memcached.responses_per_sec)
+    results;
+  let get m = (List.assoc m results).Memcached.responses_per_sec in
+  Exp_util.kv "Hostlo vs SameNode (paper: Hostlo reaches SameNode)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (get `Hostlo) (get `SameNode)))
+
+let fig12 ~quick =
+  Exp_util.header "Fig. 12 — Memcached latency + variability, intra-pod modes";
+  let results = List.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair in
+  Printf.printf "%-10s %14s %12s %12s %12s\n" "mode" "lat mean(us)" "sd(us)"
+    "p50(us)" "p99(us)";
+  List.iter
+    (fun (m, r) ->
+      let l = r.Memcached.latency in
+      Printf.printf "%-10s %14.1f %12.1f %12.1f %12.1f\n"
+        (Modes.pair_to_string m) (Stats.mean l) (Stats.stddev l)
+        (Stats.percentile l 50.0) (Stats.percentile l 99.0))
+    results;
+  let sd m =
+    let l = (List.assoc m results).Memcached.latency in
+    Stats.stddev l /. Stats.mean l
+  in
+  Exp_util.kv "SameNode/Hostlo relative variability (paper: SameNode extreme)"
+    (Printf.sprintf "%.1fx" (sd `SameNode /. sd `Hostlo))
+
+let fig13 ~quick =
+  Exp_util.header "Fig. 13 — NGINX latency, intra-pod modes";
+  let d = Exp_util.durations ~quick in
+  let results =
+    List.map
+      (fun mode ->
+        let tb, site = Exp_util.deploy_pair_sync ~mode ~port:80 () in
+        let ep = App.of_pair site in
+        ( mode,
+          Nginx.run tb ep ~containerized:true ~warmup:d.Exp_util.warmup
+            ~duration:d.Exp_util.measure () ))
+      Modes.all_pair
+  in
+  Printf.printf "%-10s %14s %12s %14s\n" "mode" "lat mean(us)" "sd(us)"
+    "achieved r/s";
+  List.iter
+    (fun (m, r) ->
+      Printf.printf "%-10s %14.1f %12.1f %14.0f\n" (Modes.pair_to_string m)
+        (Stats.mean r.Nginx.latency)
+        (Stats.stddev r.Nginx.latency)
+        r.Nginx.achieved_rate)
+    results;
+  let lat m = Stats.mean (List.assoc m results).Nginx.latency in
+  Exp_util.kv "Hostlo vs SameNode latency (paper: +49.4%)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (lat `Hostlo) (lat `SameNode)));
+  Exp_util.kv "Hostlo vs NAT latency (paper: much better)"
+    (Printf.sprintf "%+.1f%%" (Exp_util.pct (lat `Hostlo) (lat `NatX)))

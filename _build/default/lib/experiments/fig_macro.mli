@@ -1,0 +1,16 @@
+(** Macro-benchmarks: Table 1 and Figs. 5, 11, 12, 13. *)
+
+val table1 : unit -> unit
+(** Prints the macro-benchmark parameter table. *)
+
+val fig5 : quick:bool -> unit
+(** BrFusion gain on Memcached / NGINX / Kafka (single-server modes). *)
+
+val fig11 : quick:bool -> unit
+(** Memcached throughput across the four intra-pod modes. *)
+
+val fig12 : quick:bool -> unit
+(** Memcached latency + variability across the four intra-pod modes. *)
+
+val fig13 : quick:bool -> unit
+(** NGINX latency across the four intra-pod modes. *)

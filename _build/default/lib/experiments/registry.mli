@@ -1,0 +1,22 @@
+(** Experiment registry: every table and figure of the paper's
+    evaluation, addressable by id. *)
+
+type entry = {
+  id : string;           (** e.g. "fig4", "table2". *)
+  description : string;
+  run : quick:bool -> unit;
+}
+
+val all : entry list
+(** In paper order: fig2, table1, fig4, fig5, fig6, fig7, fig8, table2,
+    fig9, fig10, fig11, fig12, fig13, fig14, fig15. *)
+
+val ablations : entry list
+(** Ablation benches (not part of the paper's evaluation): guest-kernel
+    factor, iptables chain length, Hostlo fan-out, packing policy. *)
+
+val find : string -> entry option
+(** Searches both [all] and [ablations]. *)
+
+val ids : unit -> string list
+val run_all : quick:bool -> unit

@@ -1,0 +1,1 @@
+lib/net/bridge.ml: Dev Frame Hashtbl Hop List Mac Nest_sim

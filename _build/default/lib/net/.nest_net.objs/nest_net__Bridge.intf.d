@@ -1,0 +1,1 @@
+lib/net/bridge.mli: Dev Hop Mac Nest_sim

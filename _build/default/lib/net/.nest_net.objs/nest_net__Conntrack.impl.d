@@ -1,0 +1,1 @@
+lib/net/conntrack.ml: Format Hashtbl Ipv4 Packet Tcp_wire

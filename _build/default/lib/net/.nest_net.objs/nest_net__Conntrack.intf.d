@@ -1,0 +1,1 @@
+lib/net/conntrack.mli: Format Ipv4 Packet

@@ -1,0 +1,1 @@
+lib/net/dev.ml: Frame Mac

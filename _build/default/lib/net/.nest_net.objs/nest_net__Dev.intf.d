@@ -1,0 +1,1 @@
+lib/net/dev.mli: Frame Mac

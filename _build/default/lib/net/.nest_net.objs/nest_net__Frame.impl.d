@@ -1,0 +1,1 @@
+lib/net/frame.ml: Format Ipv4 List Mac Packet

@@ -1,0 +1,1 @@
+lib/net/frame.mli: Format Ipv4 Mac Packet

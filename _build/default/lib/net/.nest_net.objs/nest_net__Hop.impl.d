@@ -1,0 +1,1 @@
+lib/net/hop.ml: Nest_sim

@@ -1,0 +1,1 @@
+lib/net/hop.mli: Nest_sim

@@ -1,0 +1,1 @@
+lib/net/ipam.ml: Ipv4 Set

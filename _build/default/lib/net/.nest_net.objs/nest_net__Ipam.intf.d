@@ -1,0 +1,1 @@
+lib/net/ipam.mli: Ipv4

@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/net/ipv4.mli: Format

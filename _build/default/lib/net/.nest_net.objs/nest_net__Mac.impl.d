@@ -1,0 +1,1 @@
+lib/net/mac.ml: Format Hashtbl Int List Printf String

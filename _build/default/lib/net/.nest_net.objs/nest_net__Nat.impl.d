@@ -1,0 +1,1 @@
+lib/net/nat.ml: Conntrack Ipv4 Netfilter Packet

@@ -1,0 +1,1 @@
+lib/net/nat.mli: Conntrack Ipv4 Netfilter

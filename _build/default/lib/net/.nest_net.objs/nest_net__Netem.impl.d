@@ -1,0 +1,1 @@
+lib/net/netem.ml: Dev Frame Nest_sim

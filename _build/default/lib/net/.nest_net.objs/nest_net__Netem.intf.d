@@ -1,0 +1,1 @@
+lib/net/netem.mli: Dev Nest_sim

@@ -1,0 +1,1 @@
+lib/net/netfilter.ml: Hashtbl List Packet

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Format Ipv4 List Option Payload Tcp_wire

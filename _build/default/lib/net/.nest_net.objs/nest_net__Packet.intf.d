@@ -1,0 +1,1 @@
+lib/net/packet.mli: Format Ipv4 Payload Tcp_wire

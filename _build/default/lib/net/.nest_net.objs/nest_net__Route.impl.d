@@ -1,0 +1,1 @@
+lib/net/route.ml: Dev Ipv4 List

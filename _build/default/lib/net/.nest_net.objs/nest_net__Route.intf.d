@@ -1,0 +1,1 @@
+lib/net/route.mli: Dev Ipv4

@@ -1,0 +1,1 @@
+lib/net/stack.ml: Conntrack Dev Format Frame Hashtbl Hop Ipv4 List Mac Nest_sim Netfilter Option Packet Payload Printf Queue Route Tcp_wire

@@ -1,0 +1,1 @@
+lib/net/stack.mli: Conntrack Dev Hop Ipv4 Mac Nest_sim Netfilter Packet Payload Route

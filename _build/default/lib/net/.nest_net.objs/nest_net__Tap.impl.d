@@ -1,0 +1,1 @@
+lib/net/tap.ml: Dev Frame Hop List Nest_sim

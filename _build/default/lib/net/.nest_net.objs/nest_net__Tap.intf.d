@@ -1,0 +1,1 @@
+lib/net/tap.mli: Dev Frame Hop Mac Nest_sim

@@ -1,0 +1,1 @@
+lib/net/veth.ml: Dev Frame Hop

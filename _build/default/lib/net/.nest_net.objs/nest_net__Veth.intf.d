@@ -1,0 +1,1 @@
+lib/net/veth.mli: Dev Hop Mac

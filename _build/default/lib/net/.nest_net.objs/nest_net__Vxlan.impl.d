@@ -1,0 +1,1 @@
+lib/net/vxlan.ml: Dev Frame Hashtbl Hop Ipv4 Lazy List Mac Payload Stack

@@ -1,0 +1,1 @@
+lib/net/vxlan.mli: Dev Frame Hop Ipv4 Mac Payload Stack

@@ -1,0 +1,117 @@
+type proto = Proto_udp | Proto_tcp | Proto_icmp
+
+type flow = {
+  proto : proto;
+  f_src : Ipv4.t;
+  f_sport : int;
+  f_dst : Ipv4.t;
+  f_dport : int;
+}
+
+let flow_of_packet (p : Packet.t) =
+  match p.transport with
+  | Packet.Udp { src_port; dst_port; _ } ->
+    { proto = Proto_udp; f_src = p.src; f_sport = src_port; f_dst = p.dst;
+      f_dport = dst_port }
+  | Packet.Tcp { seg; _ } ->
+    { proto = Proto_tcp; f_src = p.src; f_sport = seg.Tcp_wire.src_port;
+      f_dst = p.dst; f_dport = seg.Tcp_wire.dst_port }
+  | Packet.Icmp_echo { id; _ } ->
+    { proto = Proto_icmp; f_src = p.src; f_sport = id; f_dst = p.dst;
+      f_dport = id }
+
+let pp_flow fmt f =
+  let proto =
+    match f.proto with
+    | Proto_udp -> "udp"
+    | Proto_tcp -> "tcp"
+    | Proto_icmp -> "icmp"
+  in
+  Format.fprintf fmt "%s %a:%d>%a:%d" proto Ipv4.pp f.f_src f.f_sport Ipv4.pp
+    f.f_dst f.f_dport
+
+(* A binding rewrites matched packets to have the given endpoints. *)
+type rewrite = {
+  new_src : (Ipv4.t * int) option;
+  new_dst : (Ipv4.t * int) option;
+}
+
+type t = { table : (flow, rewrite) Hashtbl.t; mutable next_port : int }
+
+let create () = { table = Hashtbl.create 64; next_port = 32768 }
+
+let alloc_port t =
+  let p = t.next_port in
+  t.next_port <- (if p >= 60999 then 32768 else p + 1);
+  p
+
+let apply rw (p : Packet.t) =
+  let p =
+    match rw.new_src with
+    | None -> p
+    | Some (ip, port) ->
+      Packet.with_ports ~src_port:port (Packet.with_addrs ~src:ip p)
+  in
+  match rw.new_dst with
+  | None -> p
+  | Some (ip, port) ->
+    Packet.with_ports ~dst_port:port (Packet.with_addrs ~dst:ip p)
+
+let translate t p =
+  let f = flow_of_packet p in
+  match Hashtbl.find_opt t.table f with
+  | Some rw -> (apply rw p, true)
+  | None -> (p, false)
+
+let snat t p ~to_ip =
+  let f = flow_of_packet p in
+  match Hashtbl.find_opt t.table f with
+  | Some rw -> apply rw p
+  | None ->
+    (* ICMP has no ports: the echo identifier must survive translation so
+       the reply can be matched. *)
+    let nat_port =
+      match f.proto with Proto_icmp -> f.f_sport | _ -> alloc_port t
+    in
+    let fwd = { new_src = Some (to_ip, nat_port); new_dst = None } in
+    (* Replies arrive addressed to the NAT endpoint. *)
+    let reply_flow =
+      { proto = f.proto; f_src = f.f_dst; f_sport = f.f_dport; f_dst = to_ip;
+        f_dport = nat_port }
+    in
+    let back = { new_src = None; new_dst = Some (f.f_src, f.f_sport) } in
+    Hashtbl.replace t.table f fwd;
+    Hashtbl.replace t.table reply_flow back;
+    apply fwd p
+
+let dnat t p ~to_ip ~to_port =
+  let f = flow_of_packet p in
+  match Hashtbl.find_opt t.table f with
+  | Some rw -> apply rw p
+  | None ->
+    let fwd = { new_src = None; new_dst = Some (to_ip, to_port) } in
+    let reply_flow =
+      { proto = f.proto; f_src = to_ip; f_sport = to_port; f_dst = f.f_src;
+        f_dport = f.f_sport }
+    in
+    let back = { new_src = Some (f.f_dst, f.f_dport); new_dst = None } in
+    Hashtbl.replace t.table f fwd;
+    Hashtbl.replace t.table reply_flow back;
+    apply fwd p
+
+let entry_count t = Hashtbl.length t.table
+
+let bindings t =
+  Hashtbl.fold
+    (fun f rw acc ->
+      let to_flow =
+        let src, sport =
+          match rw.new_src with Some (ip, p) -> (ip, p) | None -> (f.f_src, f.f_sport)
+        in
+        let dst, dport =
+          match rw.new_dst with Some (ip, p) -> (ip, p) | None -> (f.f_dst, f.f_dport)
+        in
+        { f with f_src = src; f_sport = sport; f_dst = dst; f_dport = dport }
+      in
+      (f, to_flow) :: acc)
+    t.table []

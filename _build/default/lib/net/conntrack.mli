@@ -1,0 +1,42 @@
+(** Connection tracking with NAT bindings (Linux conntrack).
+
+    Both NAT layers of the nested stack (Docker's inside the VM, the
+    VMM's on the host) are built on this: a flow's first packet through a
+    SNAT/DNAT rule creates a binding, and every subsequent packet of the
+    flow — in either direction — is translated from the table without
+    consulting the rules again. *)
+
+type proto = Proto_udp | Proto_tcp | Proto_icmp
+
+type flow = {
+  proto : proto;
+  f_src : Ipv4.t;
+  f_sport : int;
+  f_dst : Ipv4.t;
+  f_dport : int;
+}
+(** ICMP echo flows use the echo identifier as both ports. *)
+
+val flow_of_packet : Packet.t -> flow
+val pp_flow : Format.formatter -> flow -> unit
+
+type t
+
+val create : unit -> t
+
+val snat : t -> Packet.t -> to_ip:Ipv4.t -> Packet.t
+(** Source-NAT (masquerade): rewrites the source to [to_ip] with an
+    allocated port, creating forward and reply bindings on first sight.
+    Idempotent for an already-bound flow. *)
+
+val dnat : t -> Packet.t -> to_ip:Ipv4.t -> to_port:int -> Packet.t
+(** Destination-NAT (port publishing). *)
+
+val translate : t -> Packet.t -> Packet.t * bool
+(** Table-only translation for established flows; the boolean reports
+    whether a binding applied (in which case NAT rules must be skipped,
+    matching Linux semantics). *)
+
+val entry_count : t -> int
+val bindings : t -> (flow * flow) list
+(** [(matched flow, rewritten-to flow)] pairs, unordered. *)

@@ -1,0 +1,56 @@
+type l2_mode = Normal | Reflector
+
+type stats = {
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+}
+
+type t = {
+  name : string;
+  mutable mac : Mac.t;
+  mutable mtu : int;
+  mutable up : bool;
+  l2 : l2_mode;
+  stats : stats;
+  mutable tx_fn : Frame.t -> unit;
+  mutable rx_fn : (Frame.t -> unit) option;
+}
+
+let create ?(mtu = 1500) ?(l2 = Normal) ~name ~mac () =
+  let stats =
+    { rx_packets = 0; rx_bytes = 0; tx_packets = 0; tx_bytes = 0; drops = 0 }
+  in
+  let t =
+    { name; mac; mtu; up = true; l2; stats; tx_fn = (fun _ -> ()); rx_fn = None }
+  in
+  t.tx_fn <- (fun _ -> stats.drops <- stats.drops + 1);
+  t
+
+let set_tx t f = t.tx_fn <- f
+let set_rx t f = t.rx_fn <- Some f
+let clear_rx t = t.rx_fn <- None
+
+let transmit t frame =
+  if not t.up then t.stats.drops <- t.stats.drops + 1
+  else begin
+    t.stats.tx_packets <- t.stats.tx_packets + 1;
+    t.stats.tx_bytes <- t.stats.tx_bytes + Frame.len frame;
+    t.tx_fn frame
+  end
+
+let deliver t frame =
+  if not t.up then t.stats.drops <- t.stats.drops + 1
+  else begin
+    Frame.record_hop frame t.name;
+    match t.rx_fn with
+    | None -> t.stats.drops <- t.stats.drops + 1
+    | Some f ->
+      t.stats.rx_packets <- t.stats.rx_packets + 1;
+      t.stats.rx_bytes <- t.stats.rx_bytes + Frame.len frame;
+      f frame
+  end
+
+let mss t = t.mtu - 40

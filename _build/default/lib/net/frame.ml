@@ -1,0 +1,55 @@
+type arp_op = Request | Reply
+
+type arp_msg = {
+  op : arp_op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t;
+  target_ip : Ipv4.t;
+}
+
+type body = Ipv4_body of Packet.t | Arp_body of arp_msg
+
+type t = {
+  src : Mac.t;
+  dst : Mac.t;
+  body : body;
+  trace : string list ref option;
+}
+
+let make ?(traced = false) ~src ~dst body =
+  (* IP frames share the packet's trace so the path survives NAT rewrites
+     and re-framing at every L3 hop. *)
+  let trace =
+    match body with
+    | Ipv4_body p when p.Packet.trace <> None -> p.Packet.trace
+    | Ipv4_body _ | Arp_body _ -> if traced then Some (ref []) else None
+  in
+  { src; dst; body; trace }
+
+let eth_header_bytes = 14
+let min_frame_bytes = 60
+let arp_bytes = 28
+
+let len t =
+  let body_len =
+    match t.body with
+    | Ipv4_body p -> Packet.len p
+    | Arp_body _ -> arp_bytes
+  in
+  max min_frame_bytes (eth_header_bytes + body_len)
+
+let record_hop t hop =
+  match t.trace with None -> () | Some r -> r := hop :: !r
+
+let hops t = match t.trace with None -> [] | Some r -> List.rev !r
+let is_broadcast t = Mac.is_broadcast t.dst
+
+let pp fmt t =
+  match t.body with
+  | Ipv4_body p ->
+    Format.fprintf fmt "[%a > %a] %a" Mac.pp t.src Mac.pp t.dst Packet.pp p
+  | Arp_body a ->
+    let op = match a.op with Request -> "who-has" | Reply -> "is-at" in
+    Format.fprintf fmt "[%a > %a] arp %s %a" Mac.pp t.src Mac.pp t.dst op
+      Ipv4.pp a.target_ip

@@ -1,0 +1,42 @@
+(** Ethernet frames.
+
+    Frames optionally carry a hop trace: every device that processes a
+    traced frame appends its name, which lets integration tests assert the
+    exact virtualization path a packet crossed (Fig. 1 of the paper). *)
+
+type arp_op = Request | Reply
+
+type arp_msg = {
+  op : arp_op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t;  (** Meaningless for requests. *)
+  target_ip : Ipv4.t;
+}
+
+type body =
+  | Ipv4_body of Packet.t
+  | Arp_body of arp_msg
+
+type t = {
+  src : Mac.t;
+  dst : Mac.t;
+  body : body;
+  trace : string list ref option;
+      (** Hop names in reverse order of traversal when tracing. *)
+}
+
+val make : ?traced:bool -> src:Mac.t -> dst:Mac.t -> body -> t
+(** [traced] defaults to false. *)
+
+val len : t -> int
+(** 14-byte Ethernet header + body, padded to the 60-byte minimum. *)
+
+val record_hop : t -> string -> unit
+(** No-op on untraced frames. *)
+
+val hops : t -> string list
+(** Hops in traversal order; [] when untraced. *)
+
+val is_broadcast : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = {
+  exec : Nest_sim.Exec.t;
+  fixed_ns : int;
+  per_byte_ns : float;
+  charge_as : Nest_sim.Cpu_account.category option;
+}
+
+let make ?charge_as ?(per_byte_ns = 0.0) exec ~fixed_ns =
+  { exec; fixed_ns; per_byte_ns; charge_as }
+
+let cost_ns t ~bytes =
+  t.fixed_ns + int_of_float (t.per_byte_ns *. float_of_int bytes)
+
+let service t ~bytes k =
+  Nest_sim.Exec.submit ?charge_as:t.charge_as t.exec ~cost:(cost_ns t ~bytes) k
+
+let free engine =
+  make (Nest_sim.Exec.create engine ~name:"free-hop") ~fixed_ns:0

@@ -1,0 +1,31 @@
+(** A costed processing hop: the association of an execution context with a
+    per-packet cost model.
+
+    Every device crossing in the simulator is a [Hop.t]: servicing a frame
+    occupies the hop's {!Nest_sim.Exec.t} for [fixed_ns + per_byte_ns × len]
+    nanoseconds, charging the context's CPU account.  Throughput limits and
+    queueing latency both emerge from this single mechanism. *)
+
+type t = {
+  exec : Nest_sim.Exec.t;
+  fixed_ns : int;
+  per_byte_ns : float;
+  charge_as : Nest_sim.Cpu_account.category option;
+      (** Overrides the context's default accounting category. *)
+}
+
+val make :
+  ?charge_as:Nest_sim.Cpu_account.category ->
+  ?per_byte_ns:float ->
+  Nest_sim.Exec.t ->
+  fixed_ns:int ->
+  t
+
+val cost_ns : t -> bytes:int -> int
+
+val service : t -> bytes:int -> (unit -> unit) -> unit
+(** [service t ~bytes k] queues the work on the hop's context and runs [k]
+    on completion. *)
+
+val free : Nest_sim.Engine.t -> t
+(** A zero-cost hop on a private context — useful in unit tests. *)

@@ -1,0 +1,31 @@
+(** Ethernet MAC addresses (48 bits, stored in an [int]). *)
+
+type t
+
+val broadcast : t
+val is_broadcast : t -> bool
+
+val of_int : int -> t
+(** Masks the argument to 48 bits. *)
+
+val to_int : t -> int
+
+val of_string : string -> t
+(** Parses ["aa:bb:cc:dd:ee:ff"].  Raises [Invalid_argument] on bad input. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Deterministic allocator of locally-administered unicast addresses. *)
+module Alloc : sig
+  type alloc
+
+  val create : ?oui:int -> unit -> alloc
+  (** [oui] is the top 24 bits; defaults to 0x525400 (the QEMU/KVM OUI). *)
+
+  val fresh : alloc -> t
+end

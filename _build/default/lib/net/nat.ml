@@ -1,0 +1,25 @@
+let dst_port_of pkt = match Packet.ports pkt with Some (_, d) -> d | None -> -1
+
+let masquerade nf ct ~name ~src_subnet ?out_dev ~nat_ip () =
+  let matches (ctx : Netfilter.ctx) (pkt : Packet.t) =
+    Ipv4.in_subnet src_subnet pkt.Packet.src
+    && (not (Ipv4.in_subnet src_subnet pkt.Packet.dst))
+    &&
+    match out_dev with
+    | None -> true
+    | Some d -> ctx.Netfilter.out_dev = Some d
+  in
+  let action _ctx pkt = Netfilter.Mangle (Conntrack.snat ct pkt ~to_ip:nat_ip) in
+  Netfilter.append nf Netfilter.Postrouting { rule_name = name; matches; action }
+
+let publish nf ct ~name ~dst_ip ~dst_port ~to_ip ~to_port =
+  let matches _ctx (pkt : Packet.t) =
+    Ipv4.equal pkt.Packet.dst dst_ip && dst_port_of pkt = dst_port
+  in
+  let action _ctx pkt = Netfilter.Mangle (Conntrack.dnat ct pkt ~to_ip ~to_port) in
+  Netfilter.append nf Netfilter.Prerouting { rule_name = name; matches; action }
+
+let drop_from nf ~name ~hook ~src_subnet =
+  let matches _ctx (pkt : Packet.t) = Ipv4.in_subnet src_subnet pkt.Packet.src in
+  let action _ctx _pkt = Netfilter.Drop in
+  Netfilter.append nf hook { rule_name = name; matches; action }

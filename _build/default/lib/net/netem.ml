@@ -1,0 +1,48 @@
+type t = {
+  dev : Dev.t;
+  original_tx : Frame.t -> unit;
+  mutable passed : int;
+  mutable dropped_loss : int;
+  mutable dropped_overflow : int;
+  mutable in_flight : int;
+  mutable active : bool;
+}
+
+let shape engine dev ?(loss = 0.0) ?(delay_ns = 0) ?(jitter_ns = 0)
+    ?(limit = max_int) ~rng () =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Netem.shape: loss in [0,1]";
+  let t =
+    { dev; original_tx = dev.Dev.tx_fn; passed = 0; dropped_loss = 0;
+      dropped_overflow = 0; in_flight = 0; active = true }
+  in
+  let shaped frame =
+    if not t.active then t.original_tx frame
+    else if loss > 0.0 && Nest_sim.Prng.float rng < loss then begin
+      t.dropped_loss <- t.dropped_loss + 1;
+      dev.Dev.stats.Dev.drops <- dev.Dev.stats.Dev.drops + 1
+    end
+    else if t.in_flight >= limit then begin
+      t.dropped_overflow <- t.dropped_overflow + 1;
+      dev.Dev.stats.Dev.drops <- dev.Dev.stats.Dev.drops + 1
+    end
+    else begin
+      let extra =
+        if jitter_ns > 0 then Nest_sim.Prng.int rng (jitter_ns + 1) else 0
+      in
+      t.in_flight <- t.in_flight + 1;
+      Nest_sim.Engine.schedule engine ~delay:(delay_ns + extra) (fun () ->
+          t.in_flight <- t.in_flight - 1;
+          t.passed <- t.passed + 1;
+          t.original_tx frame)
+    end
+  in
+  Dev.set_tx dev shaped;
+  t
+
+let remove t =
+  t.active <- false;
+  Dev.set_tx t.dev t.original_tx
+
+let passed t = t.passed
+let dropped_loss t = t.dropped_loss
+let dropped_overflow t = t.dropped_overflow

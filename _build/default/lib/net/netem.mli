@@ -1,0 +1,31 @@
+(** Link impairment (tc-netem style): probabilistic loss, added delay
+    with jitter, and a bounded egress queue with tail drop.
+
+    [shape] wraps a device's egress: every transmitted frame first passes
+    the impairment stage.  Apply it to both ends of a link to impair both
+    directions.  Used by the test suite to exercise TCP loss recovery and
+    available to experiments for sensitivity studies. *)
+
+type t
+
+val shape :
+  Nest_sim.Engine.t ->
+  Dev.t ->
+  ?loss:float ->
+  ?delay_ns:Nest_sim.Time.ns ->
+  ?jitter_ns:Nest_sim.Time.ns ->
+  ?limit:int ->
+  rng:Nest_sim.Prng.t ->
+  unit ->
+  t
+(** [loss] is the per-frame drop probability (default 0); [delay_ns] an
+    added one-way delay (default 0); [jitter_ns] uniform extra jitter on
+    it; [limit] the maximum frames in flight through the shaper, with
+    tail drop (default unbounded). *)
+
+val remove : t -> unit
+(** Restores the device's original egress. *)
+
+val passed : t -> int
+val dropped_loss : t -> int
+val dropped_overflow : t -> int

@@ -1,0 +1,44 @@
+(** Netfilter-style hook chains.
+
+    Each namespace's IP stack runs packets through five hooks (the Linux
+    ones).  Rules match on the packet plus ingress/egress device names
+    (iptables' [-i]/[-o]) and can accept, drop or rewrite the packet.
+    These chains are where Docker and the VMM install their NAT — the
+    per-packet hook work is the "soft" CPU the paper measures netfilter
+    consuming (§5.2.3). *)
+
+type hook = Prerouting | Input | Forward | Output | Postrouting
+
+type ctx = {
+  in_dev : string option;   (** Ingress device name, when known. *)
+  out_dev : string option;  (** Egress device name, when known. *)
+}
+
+type verdict =
+  | Accept
+  | Drop
+  | Mangle of Packet.t  (** Continue traversal with the rewritten packet. *)
+
+type rule = {
+  rule_name : string;
+  matches : ctx -> Packet.t -> bool;
+  action : ctx -> Packet.t -> verdict;
+}
+
+type t
+
+val create : unit -> t
+val append : t -> hook -> rule -> unit
+val remove : t -> hook -> string -> unit
+(** Removes all rules with the given name on that hook. *)
+
+val run : t -> hook -> ctx -> Packet.t -> Packet.t option
+(** [None] means the packet was dropped.  Rules run in insertion order;
+    [Mangle] rewrites and continues with subsequent rules. *)
+
+val rule_count : t -> hook -> int
+val rule_names : t -> hook -> string list
+val hits : t -> int
+(** Total rule evaluations (diagnostics; a proxy for hook work). *)
+
+val no_ctx : ctx

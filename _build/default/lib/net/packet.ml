@@ -1,0 +1,76 @@
+type transport =
+  | Udp of { src_port : int; dst_port : int; payload : Payload.t }
+  | Tcp of { seg : Tcp_wire.t; payload : Payload.t }
+  | Icmp_echo of { id : int; seq : int; reply : bool }
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  ttl : int;
+  transport : transport;
+  trace : string list ref option;
+}
+
+let make ?(traced = false) ~src ~dst transport =
+  { src; dst; ttl = 64; transport;
+    trace = (if traced then Some (ref []) else None) }
+
+let hops t = match t.trace with None -> [] | Some r -> List.rev !r
+
+let ip_header_bytes = 20
+let udp_header_bytes = 8
+let icmp_bytes = 8
+
+let len t =
+  ip_header_bytes
+  +
+  match t.transport with
+  | Udp { payload; _ } -> udp_header_bytes + Payload.size payload
+  | Tcp { seg; _ } -> Tcp_wire.header_bytes + seg.Tcp_wire.len
+  | Icmp_echo _ -> icmp_bytes
+
+let ports t =
+  match t.transport with
+  | Udp { src_port; dst_port; _ } -> Some (src_port, dst_port)
+  | Tcp { seg; _ } -> Some (seg.Tcp_wire.src_port, seg.Tcp_wire.dst_port)
+  | Icmp_echo _ -> None
+
+let with_addrs ?src ?dst t =
+  { t with
+    src = Option.value src ~default:t.src;
+    dst = Option.value dst ~default:t.dst }
+
+let with_ports ?src_port ?dst_port t =
+  match t.transport with
+  | Icmp_echo _ -> t
+  | Udp u ->
+    { t with
+      transport =
+        Udp
+          { u with
+            src_port = Option.value src_port ~default:u.src_port;
+            dst_port = Option.value dst_port ~default:u.dst_port } }
+  | Tcp { seg; payload } ->
+    let seg =
+      { seg with
+        Tcp_wire.src_port = Option.value src_port ~default:seg.Tcp_wire.src_port;
+        dst_port = Option.value dst_port ~default:seg.Tcp_wire.dst_port }
+    in
+    { t with transport = Tcp { seg; payload } }
+
+let decrement_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let proto_name t =
+  match t.transport with
+  | Udp _ -> "udp"
+  | Tcp _ -> "tcp"
+  | Icmp_echo _ -> "icmp"
+
+let pp fmt t =
+  match ports t with
+  | Some (sp, dp) ->
+    Format.fprintf fmt "%s %a:%d > %a:%d len=%d" (proto_name t) Ipv4.pp t.src
+      sp Ipv4.pp t.dst dp (len t)
+  | None ->
+    Format.fprintf fmt "%s %a > %a len=%d" (proto_name t) Ipv4.pp t.src
+      Ipv4.pp t.dst (len t)

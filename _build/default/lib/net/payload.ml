@@ -1,0 +1,8 @@
+type app_msg = ..
+type app_msg += Opaque of string
+
+type t = { size : int; msg : app_msg option }
+
+let raw size = { size; msg = None }
+let make ~size msg = { size; msg = Some msg }
+let size t = t.size

@@ -1,0 +1,21 @@
+(** Application payloads.
+
+    Packets carry sizes (for costs and throughput) plus an optional
+    structured application message.  [app_msg] is an extensible variant so
+    that workload libraries can define their own message types without
+    [nest_net] depending on them. *)
+
+type app_msg = ..
+
+type app_msg += Opaque of string  (** Generic tagged message. *)
+
+type t = {
+  size : int;  (** Application bytes (excluding all headers). *)
+  msg : app_msg option;
+}
+
+val raw : int -> t
+(** Payload of [n] bytes with no structured content. *)
+
+val make : size:int -> app_msg -> t
+val size : t -> int

@@ -1,0 +1,965 @@
+module Engine = Nest_sim.Engine
+module Time = Nest_sim.Time
+
+let log_src = Nest_sim.Log.src "stack"
+
+type costs = {
+  tx : Hop.t;
+  rx : Hop.t;
+  forward : Hop.t;
+  nat : Hop.t;
+  nat_per_rule_ns : int;
+  local : Hop.t;
+  syscall : Hop.t;
+  wakeup_delay_ns : int;
+}
+
+type ns_counters = {
+  mutable delivered : int;
+  mutable forwarded_pkts : int;
+  mutable dropped_no_socket : int;
+  mutable dropped_no_route : int;
+  mutable dropped_filtered : int;
+  mutable dropped_ttl : int;
+  mutable rst_sent : int;
+}
+
+(* TCP tuning.  Values follow Linux defaults where a default exists. *)
+let sndbuf_default = 262_144
+let rcvwnd_default = 262_144
+let init_cwnd_segments = 10
+let rto_initial = Time.ms 200
+let delack_delay = Time.us 200
+let ack_every_segments = 2
+let ephemeral_base = 49_152
+let loopback_mtu = 65_536
+
+type tcp_state =
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait
+  | Last_ack
+  | Closed
+
+type udp_sock = {
+  u_ns : ns;
+  u_port : int;
+  u_kernel : bool;
+  mutable u_recv : udp_sock -> src:Ipv4.t * int -> Payload.t -> unit;
+  mutable u_closed : bool;
+}
+
+and tcp_conn = {
+  c_ns : ns;
+  c_local_ip : Ipv4.t;
+  c_local_port : int;
+  c_remote_ip : Ipv4.t;
+  c_remote_port : int;
+  c_mss : int;
+  mutable c_state : tcp_state;
+  (* Send side: absolute stream offsets starting at 0. *)
+  mutable snd_una : int;        (* oldest unacknowledged byte *)
+  mutable snd_nxt : int;        (* next byte to transmit *)
+  mutable send_off : int;       (* end of data accepted from the app *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable peer_wnd : int;
+  tx_boundaries : (int * Payload.app_msg) Queue.t;  (* untransmitted *)
+  mutable inflight : (int * int * (int * Payload.app_msg) list) list;
+      (* (seq, len, msgs), ascending seq; for retransmission *)
+  mutable rto_armed : bool;
+  mutable rto_una_at_arm : int;
+  mutable rto_backoff : int;
+  mutable dup_acks : int;
+  mutable c_retransmits : int;
+  (* Receive side. *)
+  mutable rcv_nxt : int;
+  mutable delivered_off : int;
+  mutable ooo : (int * int * (int * Payload.app_msg) list) list;  (* sorted *)
+  rcv_pending : (int, Payload.app_msg) Hashtbl.t;  (* end-offset -> msg *)
+  mutable pending_ack_segs : int;
+  mutable delack_armed : bool;
+  (* Application interface. *)
+  mutable on_receive : bytes:int -> msgs:Payload.app_msg list -> unit;
+  mutable on_writable : unit -> unit;
+  mutable writable_waiting : bool;
+  mutable on_established_cb : tcp_conn -> unit;
+  mutable on_close_cb : unit -> unit;
+  c_sndbuf : int;
+}
+
+and tcp_listener = { l_on_accept : tcp_conn -> unit }
+
+and ns = {
+  ns_name : string;
+  eng : Engine.t;
+  cs : costs;
+  nf_tbl : Netfilter.t;
+  ct_tbl : Conntrack.t;
+  rt : Route.t;
+  mutable devs : Dev.t list;
+  mutable addr_list : (Dev.t * Ipv4.t * Ipv4.cidr) list;
+  arp_tbl : (Ipv4.t, Mac.t) Hashtbl.t;
+  arp_waiting : (Ipv4.t, (Mac.t -> unit) list ref) Hashtbl.t;
+  udp_binds : (int, udp_sock) Hashtbl.t;
+  listeners : (int, tcp_listener) Hashtbl.t;
+  conns : (int * Ipv4.t * int, tcp_conn) Hashtbl.t;
+  icmp_waiters : (int, Time.ns * (rtt_ns:Time.ns -> unit)) Hashtbl.t;
+  mutable next_eph : int;
+  mutable next_icmp_id : int;
+  mutable fwd : bool;
+  mutable trace_all : bool;
+  cnt : ns_counters;
+  mutable lo : Dev.t option;
+  mutable observer : (Packet.t -> unit) option;
+  ns_rng : Nest_sim.Prng.t;
+}
+
+(* Scheduler wakeup latency: base plus an exponential tail (run-queue
+   luck), so end-to-end latency distributions have realistic spread. *)
+let wakeup_delay ns =
+  let base = float_of_int ns.cs.wakeup_delay_ns in
+  if base <= 0.0 then 0
+  else
+    int_of_float
+      ((0.6 *. base) +. Nest_sim.Dist.exponential ns.ns_rng ~mean:(0.4 *. base))
+
+let name ns = ns.ns_name
+let engine ns = ns.eng
+let nf ns = ns.nf_tbl
+let ct ns = ns.ct_tbl
+let routes ns = ns.rt
+let counters ns = ns.cnt
+let costs ns = ns.cs
+let devices ns = ns.devs
+let find_dev ns n = List.find_opt (fun d -> d.Dev.name = n) ns.devs
+let addrs ns = ns.addr_list
+let set_ip_forward ns b = ns.fwd <- b
+let set_trace_all ns b = ns.trace_all <- b
+let set_observer ns f = ns.observer <- f
+let loopback_dev ns = ns.lo
+
+let addr_of_dev ns dev =
+  List.find_map
+    (fun (d, ip, _) -> if d == dev then Some ip else None)
+    ns.addr_list
+
+let lo_subnet = Ipv4.cidr_of_string "127.0.0.0/8"
+
+let is_local_addr ns ip =
+  List.exists (fun (_, a, _) -> Ipv4.equal a ip) ns.addr_list
+  || (ns.lo <> None && Ipv4.in_subnet lo_subnet ip)
+
+let dev_holding_addr ns ip =
+  match
+    List.find_map
+      (fun (d, a, _) -> if Ipv4.equal a ip then Some d else None)
+      ns.addr_list
+  with
+  | Some d -> Some d
+  | None -> if Ipv4.in_subnet lo_subnet ip then ns.lo else None
+
+let arp_cache ns =
+  Hashtbl.fold (fun ip mac acc -> (ip, mac) :: acc) ns.arp_tbl []
+  |> List.sort compare
+
+(* Netfilter is "armed" once any rule exists; armed namespaces pay the
+   [nat] hop surcharge on their datapath — a fixed hook cost plus a
+   per-rule term (Docker's chains are long) — which is exactly the
+   per-packet work BrFusion eliminates inside the VM. *)
+let all_hooks =
+  [ Netfilter.Prerouting; Netfilter.Input; Netfilter.Forward;
+    Netfilter.Output; Netfilter.Postrouting ]
+
+let total_rules ns =
+  List.fold_left (fun a h -> a + Netfilter.rule_count ns.nf_tbl h) 0 all_hooks
+
+let nf_armed ns = total_rules ns > 0 || Conntrack.entry_count ns.ct_tbl > 0
+
+let nat_surcharge ns =
+  if nf_armed ns then
+    ns.cs.nat.Hop.fixed_ns + (ns.cs.nat_per_rule_ns * total_rules ns)
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* ARP                                                                 *)
+
+let send_ip_frame ns dev ~dst_mac pkt =
+  let frame =
+    Frame.make ~traced:ns.trace_all ~src:dev.Dev.mac ~dst:dst_mac
+      (Frame.Ipv4_body pkt)
+  in
+  Dev.transmit dev frame
+
+let arp_request ns dev target_ip =
+  let sender_ip = Option.value (addr_of_dev ns dev) ~default:Ipv4.any in
+  let msg =
+    { Frame.op = Frame.Request; sender_mac = dev.Dev.mac; sender_ip;
+      target_mac = Mac.of_int 0; target_ip }
+  in
+  Dev.transmit dev
+    (Frame.make ~traced:ns.trace_all ~src:dev.Dev.mac ~dst:Mac.broadcast
+       (Frame.Arp_body msg))
+
+let arp_retry_delay = Time.sec 1
+let arp_max_tries = 3
+
+let arp_resolve ns dev ip k =
+  if dev.Dev.l2 = Dev.Reflector then k Mac.broadcast
+  else
+    match Hashtbl.find_opt ns.arp_tbl ip with
+    | Some mac -> k mac
+    | None -> (
+      match Hashtbl.find_opt ns.arp_waiting ip with
+      | Some q -> q := k :: !q
+      | None ->
+        Hashtbl.add ns.arp_waiting ip (ref [ k ]);
+        (* Linux-style retry: re-probe a few times, then fail the queued
+           transmissions (counted as unroutable). *)
+        let rec attempt n =
+          if Hashtbl.mem ns.arp_waiting ip then
+            if n > arp_max_tries then begin
+              let waiters =
+                match Hashtbl.find_opt ns.arp_waiting ip with
+                | Some q -> List.length !q
+                | None -> 0
+              in
+              Hashtbl.remove ns.arp_waiting ip;
+              ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + waiters
+            end
+            else begin
+              arp_request ns dev ip;
+              Engine.schedule ns.eng ~delay:arp_retry_delay (fun () ->
+                  attempt (n + 1))
+            end
+        in
+        attempt 1)
+
+let arp_learn ns ip mac =
+  if not (Ipv4.equal ip Ipv4.any) then begin
+    Hashtbl.replace ns.arp_tbl ip mac;
+    match Hashtbl.find_opt ns.arp_waiting ip with
+    | None -> ()
+    | Some q ->
+      let ks = List.rev !q in
+      Hashtbl.remove ns.arp_waiting ip;
+      List.iter (fun k -> k mac) ks
+  end
+
+let arp_input ns dev (a : Frame.arp_msg) =
+  arp_learn ns a.Frame.sender_ip a.Frame.sender_mac;
+  match a.Frame.op with
+  | Frame.Request ->
+    let holds_target =
+      List.exists
+        (fun (d, ip, _) -> d == dev && Ipv4.equal ip a.Frame.target_ip)
+        ns.addr_list
+    in
+    if holds_target then begin
+      let reply =
+        { Frame.op = Frame.Reply; sender_mac = dev.Dev.mac;
+          sender_ip = a.Frame.target_ip; target_mac = a.Frame.sender_mac;
+          target_ip = a.Frame.sender_ip }
+      in
+      Dev.transmit dev
+        (Frame.make ~traced:ns.trace_all ~src:dev.Dev.mac
+           ~dst:a.Frame.sender_mac (Frame.Arp_body reply))
+    end
+  | Frame.Reply -> ()
+
+(* ------------------------------------------------------------------ *)
+(* IP output                                                           *)
+
+(* Forward declaration: local delivery needs the demux defined below. *)
+let ip_local_input_ref : (ns -> Packet.t -> unit) ref =
+  ref (fun _ _ -> assert false)
+
+(* Would this packet, if it looped straight back in, find a local socket?
+   Used on reflector (Hostlo) devices to decide between local delivery and
+   transmission into the multiplexed loopback. *)
+let local_socket_matches ns (pkt : Packet.t) =
+  match pkt.Packet.transport with
+  | Packet.Udp { dst_port; _ } -> Hashtbl.mem ns.udp_binds dst_port
+  | Packet.Tcp { seg; _ } ->
+    Hashtbl.mem ns.conns
+      (seg.Tcp_wire.dst_port, pkt.Packet.src, seg.Tcp_wire.src_port)
+    || (seg.Tcp_wire.flags.Tcp_wire.syn
+       && (not seg.Tcp_wire.flags.Tcp_wire.ack)
+       && Hashtbl.mem ns.listeners seg.Tcp_wire.dst_port)
+  | Packet.Icmp_echo { id; reply; _ } ->
+    if reply then Hashtbl.mem ns.icmp_waiters id else true
+
+let transmit_via ns ~(dev : Dev.t) ~next_hop pkt =
+  let ctx = { Netfilter.in_dev = None; out_dev = Some dev.Dev.name } in
+  let pkt, translated = Conntrack.translate ns.ct_tbl pkt in
+  let post =
+    if translated then Some pkt
+    else Netfilter.run ns.nf_tbl Netfilter.Postrouting ctx pkt
+  in
+  match post with
+  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | Some pkt ->
+    arp_resolve ns dev next_hop (fun mac -> send_ip_frame ns dev ~dst_mac:mac pkt)
+
+let deliver_locally ns pkt =
+  Hop.service ns.cs.local ~bytes:(Packet.len pkt) (fun () ->
+      (match (pkt.Packet.trace, ns.lo) with
+      | Some r, Some lo -> r := lo.Dev.name :: !r
+      | _ -> ());
+      !ip_local_input_ref ns pkt)
+
+let ip_output ns pkt =
+  let ctx = Netfilter.no_ctx in
+  match Netfilter.run ns.nf_tbl Netfilter.Output ctx pkt with
+  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | Some pkt -> (
+    if is_local_addr ns pkt.Packet.dst then begin
+      match dev_holding_addr ns pkt.Packet.dst with
+      | Some dev
+        when dev.Dev.l2 = Dev.Reflector && not (local_socket_matches ns pkt) ->
+        (* Hostlo: the destination is the pod's localhost but the matching
+           socket lives in another fraction — leave through the reflector. *)
+        transmit_via ns ~dev ~next_hop:pkt.Packet.dst pkt
+      | Some _ | None -> deliver_locally ns pkt
+    end
+    else
+      match Route.lookup ns.rt pkt.Packet.dst with
+      | None -> ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + 1
+      | Some e ->
+        transmit_via ns ~dev:e.Route.dev
+          ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)
+
+(* ------------------------------------------------------------------ *)
+(* TCP                                                                 *)
+
+let conn_key_of c = (c.c_local_port, c.c_remote_ip, c.c_remote_port)
+
+let tcp_register c = Hashtbl.replace c.c_ns.conns (conn_key_of c) c
+
+let tcp_unregister c = Hashtbl.remove c.c_ns.conns (conn_key_of c)
+
+let tcp_make_segment c ~flags ~seq ~len ~msgs =
+  let seg =
+    { Tcp_wire.src_port = c.c_local_port; dst_port = c.c_remote_port; seq;
+      ack_seq = c.rcv_nxt; flags; window = rcvwnd_default; len; msgs }
+  in
+  Packet.make ~traced:c.c_ns.trace_all ~src:c.c_local_ip ~dst:c.c_remote_ip
+    (Packet.Tcp { seg; payload = Payload.raw len })
+
+let tcp_xmit c pkt =
+  c.pending_ack_segs <- 0;
+  let bytes = Packet.len pkt in
+  let cost_extra = nat_surcharge c.c_ns in
+  let hop = c.c_ns.cs.tx in
+  Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec
+    ~cost:(Hop.cost_ns hop ~bytes + cost_extra)
+    (fun () -> ip_output c.c_ns pkt)
+
+let flags_ack = { Tcp_wire.flags_none with Tcp_wire.ack = true }
+
+let tcp_send_pure_ack c = tcp_xmit c (tcp_make_segment c ~flags:flags_ack ~seq:c.snd_nxt ~len:0 ~msgs:[])
+
+let rec tcp_arm_rto c =
+  if not c.rto_armed then begin
+    c.rto_armed <- true;
+    c.rto_una_at_arm <- c.snd_una;
+    let delay = rto_initial * (1 lsl min 6 c.rto_backoff) in
+    Engine.schedule c.c_ns.eng ~delay (fun () -> tcp_rto_fire c)
+  end
+
+and tcp_rto_fire c =
+  c.rto_armed <- false;
+  if c.c_state <> Closed then begin
+    let outstanding =
+      c.snd_una < c.snd_nxt || c.c_state = Syn_sent || c.c_state = Syn_rcvd
+    in
+    if outstanding then
+      if c.snd_una = c.rto_una_at_arm then begin
+        (* No progress since arming: retransmit. *)
+        c.c_retransmits <- c.c_retransmits + 1;
+        Nest_sim.Log.debug ~engine:c.c_ns.eng log_src (fun () ->
+            Printf.sprintf "%s: RTO retransmit #%d (una=%d nxt=%d)"
+              c.c_ns.ns_name c.c_retransmits c.snd_una c.snd_nxt);
+        c.rto_backoff <- c.rto_backoff + 1;
+        c.ssthresh <- max (2 * c.c_mss) ((c.snd_nxt - c.snd_una) / 2);
+        c.cwnd <- init_cwnd_segments * c.c_mss;
+        (match c.c_state with
+        | Syn_sent ->
+          tcp_xmit c
+            (tcp_make_segment c
+               ~flags:{ Tcp_wire.flags_none with Tcp_wire.syn = true }
+               ~seq:0 ~len:0 ~msgs:[])
+        | Syn_rcvd ->
+          tcp_xmit c
+            (tcp_make_segment c
+               ~flags:{ flags_ack with Tcp_wire.syn = true }
+               ~seq:0 ~len:0 ~msgs:[])
+        | _ -> (
+          match c.inflight with
+          | [] -> ()
+          | (seq, len, msgs) :: _ ->
+            tcp_xmit c (tcp_make_segment c ~flags:flags_ack ~seq ~len ~msgs)));
+        tcp_arm_rto c
+      end
+      else tcp_arm_rto c
+  end
+
+let rec tcp_pump c =
+  if c.c_state = Established then begin
+    let window = min c.cwnd c.peer_wnd in
+    let inflight_bytes = c.snd_nxt - c.snd_una in
+    if c.snd_nxt < c.send_off && inflight_bytes < window then begin
+      let len =
+        min (min c.c_mss (c.send_off - c.snd_nxt)) (window - inflight_bytes)
+      in
+      if len > 0 then begin
+        let seg_end = c.snd_nxt + len in
+        let msgs = ref [] in
+        let continue = ref true in
+        while !continue && not (Queue.is_empty c.tx_boundaries) do
+          let off, _ = Queue.peek c.tx_boundaries in
+          if off <= seg_end then msgs := Queue.pop c.tx_boundaries :: !msgs
+          else continue := false
+        done;
+        let msgs = List.rev !msgs in
+        let seq = c.snd_nxt in
+        c.snd_nxt <- seg_end;
+        c.inflight <- c.inflight @ [ (seq, len, msgs) ];
+        tcp_arm_rto c;
+        tcp_xmit c (tcp_make_segment c ~flags:flags_ack ~seq ~len ~msgs);
+        tcp_pump c
+      end
+    end
+  end
+
+let tcp_deliver c =
+  if c.rcv_nxt > c.delivered_off then begin
+    let bytes = c.rcv_nxt - c.delivered_off in
+    c.delivered_off <- c.rcv_nxt;
+    let ready =
+      Hashtbl.fold
+        (fun off msg acc -> if off <= c.rcv_nxt then (off, msg) :: acc else acc)
+        c.rcv_pending []
+      |> List.sort compare
+    in
+    List.iter (fun (off, _) -> Hashtbl.remove c.rcv_pending off) ready;
+    let msgs = List.map snd ready in
+    (* The consuming application must be scheduled before its receive
+       callback runs. *)
+    Engine.schedule c.c_ns.eng ~delay:(wakeup_delay c.c_ns) (fun () ->
+        c.on_receive ~bytes ~msgs)
+  end
+
+let tcp_schedule_delack c =
+  if not c.delack_armed then begin
+    c.delack_armed <- true;
+    Engine.schedule c.c_ns.eng ~delay:delack_delay (fun () ->
+        c.delack_armed <- false;
+        if c.c_state <> Closed && c.pending_ack_segs > 0 then
+          tcp_send_pure_ack c)
+  end
+
+let tcp_rx_data c (seg : Tcp_wire.t) =
+  if seg.Tcp_wire.len > 0 then begin
+    let seq = seg.Tcp_wire.seq and len = seg.Tcp_wire.len in
+    List.iter
+      (fun (off, msg) ->
+        if off > c.delivered_off then Hashtbl.replace c.rcv_pending off msg)
+      seg.Tcp_wire.msgs;
+    if seq <= c.rcv_nxt && seq + len > c.rcv_nxt then begin
+      c.rcv_nxt <- seq + len;
+      (* Absorb any now-contiguous out-of-order segments. *)
+      let rec drain () =
+        match c.ooo with
+        | (s, l, _) :: rest when s <= c.rcv_nxt ->
+          if s + l > c.rcv_nxt then c.rcv_nxt <- s + l;
+          c.ooo <- rest;
+          drain ()
+        | _ -> ()
+      in
+      drain ();
+      tcp_deliver c;
+      c.pending_ack_segs <- c.pending_ack_segs + 1;
+      if c.pending_ack_segs >= ack_every_segments then tcp_send_pure_ack c
+      else tcp_schedule_delack c
+    end
+    else if seq > c.rcv_nxt then begin
+      (* Hole: stash and duplicate-ack. *)
+      let entry = (seq, len, seg.Tcp_wire.msgs) in
+      c.ooo <-
+        List.sort (fun (a, _, _) (b, _, _) -> compare a b) (entry :: c.ooo);
+      tcp_send_pure_ack c
+    end
+    else
+      (* Entirely old data: re-ack. *)
+      tcp_send_pure_ack c
+  end
+
+let tcp_fast_retransmit c =
+  (* RFC 5681-style: three duplicate ACKs signal a lost segment; resend
+     the first unacknowledged one and halve the congestion window. *)
+  match c.inflight with
+  | [] -> ()
+  | (seq, len, msgs) :: _ ->
+    c.c_retransmits <- c.c_retransmits + 1;
+    c.ssthresh <- max (2 * c.c_mss) ((c.snd_nxt - c.snd_una) / 2);
+    c.cwnd <- max (2 * c.c_mss) c.ssthresh;
+    tcp_xmit c (tcp_make_segment c ~flags:flags_ack ~seq ~len ~msgs)
+
+let tcp_rx_ack c (seg : Tcp_wire.t) =
+  if seg.Tcp_wire.flags.Tcp_wire.ack then begin
+    c.peer_wnd <- seg.Tcp_wire.window;
+    let ack = seg.Tcp_wire.ack_seq in
+    if ack = c.snd_una && seg.Tcp_wire.len = 0 && c.snd_nxt > c.snd_una
+    then begin
+      c.dup_acks <- c.dup_acks + 1;
+      if c.dup_acks = 3 then tcp_fast_retransmit c
+    end;
+    if ack > c.snd_una then begin
+      let acked = ack - c.snd_una in
+      c.snd_una <- ack;
+      c.rto_backoff <- 0;
+      c.dup_acks <- 0;
+      c.inflight <-
+        List.filter (fun (seq, len, _) -> seq + len > ack) c.inflight;
+      (* Slow start below ssthresh, linear growth above, capped at the
+         advertised receive window. *)
+      if c.cwnd < c.ssthresh then c.cwnd <- c.cwnd + min acked c.c_mss
+      else c.cwnd <- c.cwnd + max 1 (c.c_mss * c.c_mss / c.cwnd);
+      if c.cwnd > rcvwnd_default then c.cwnd <- rcvwnd_default;
+      if c.writable_waiting && c.send_off - c.snd_una <= c.c_sndbuf / 2
+      then begin
+        c.writable_waiting <- false;
+        c.on_writable ()
+      end;
+      tcp_pump c
+    end
+  end
+
+let tcp_close_conn c =
+  if c.c_state <> Closed then begin
+    c.c_state <- Closed;
+    tcp_unregister c;
+    c.on_close_cb ()
+  end
+
+let tcp_conn_input c (pkt : Packet.t) (seg : Tcp_wire.t) =
+  ignore pkt;
+  if seg.Tcp_wire.flags.Tcp_wire.rst then tcp_close_conn c
+  else
+    match c.c_state with
+    | Syn_sent ->
+      if seg.Tcp_wire.flags.Tcp_wire.syn && seg.Tcp_wire.flags.Tcp_wire.ack
+      then begin
+        c.c_state <- Established;
+        c.peer_wnd <- seg.Tcp_wire.window;
+        tcp_send_pure_ack c;
+        c.on_established_cb c;
+        tcp_pump c
+      end
+    | Syn_rcvd ->
+      if seg.Tcp_wire.flags.Tcp_wire.ack then begin
+        c.c_state <- Established;
+        c.peer_wnd <- seg.Tcp_wire.window;
+        c.on_established_cb c;
+        tcp_rx_data c seg;
+        tcp_pump c
+      end
+    | Established ->
+      tcp_rx_ack c seg;
+      tcp_rx_data c seg;
+      if seg.Tcp_wire.flags.Tcp_wire.fin then begin
+        (* Passive close: ack the FIN, send ours, await its ack. *)
+        c.c_state <- Last_ack;
+        tcp_xmit c
+          (tcp_make_segment c
+             ~flags:{ flags_ack with Tcp_wire.fin = true }
+             ~seq:c.snd_nxt ~len:0 ~msgs:[])
+      end
+    | Fin_wait ->
+      tcp_rx_ack c seg;
+      tcp_rx_data c seg;
+      if seg.Tcp_wire.flags.Tcp_wire.fin then begin
+        tcp_send_pure_ack c;
+        tcp_close_conn c
+      end
+    | Last_ack ->
+      if seg.Tcp_wire.flags.Tcp_wire.ack then tcp_close_conn c
+    | Closed -> ()
+
+let alloc_ephemeral ns =
+  let rec go tries =
+    if tries > 16_384 then failwith "Stack: ephemeral ports exhausted";
+    let p = ns.next_eph in
+    ns.next_eph <- (if p >= 65_535 then ephemeral_base else p + 1);
+    let busy =
+      Hashtbl.mem ns.listeners p
+      || Hashtbl.mem ns.udp_binds p
+      || Hashtbl.fold (fun (lp, _, _) _ acc -> acc || lp = p) ns.conns false
+    in
+    if busy then go (tries + 1) else p
+  in
+  go 0
+
+let mss_for ns dst =
+  if is_local_addr ns dst then
+    match dev_holding_addr ns dst with
+    | Some d -> Dev.mss d
+    | None -> loopback_mtu - 40
+  else
+    match Route.lookup ns.rt dst with
+    | Some e -> Dev.mss e.Route.dev
+    | None -> 1460
+
+let src_for ns dst =
+  if is_local_addr ns dst then dst
+  else
+    match Route.lookup ns.rt dst with
+    | None -> Ipv4.any
+    | Some e -> (
+      match e.Route.src with
+      | Some s -> s
+      | None -> Option.value (addr_of_dev ns e.Route.dev) ~default:Ipv4.any)
+
+let tcp_fresh_conn ns ~local_ip ~local_port ~remote_ip ~remote_port ~state =
+  let mss = mss_for ns remote_ip in
+  { c_ns = ns; c_local_ip = local_ip; c_local_port = local_port;
+    c_remote_ip = remote_ip; c_remote_port = remote_port; c_mss = mss;
+    c_state = state; snd_una = 0; snd_nxt = 0; send_off = 0;
+    cwnd = init_cwnd_segments * mss; ssthresh = rcvwnd_default;
+    peer_wnd = rcvwnd_default; tx_boundaries = Queue.create ();
+    inflight = []; rto_armed = false; rto_una_at_arm = 0; rto_backoff = 0;
+    dup_acks = 0; c_retransmits = 0; rcv_nxt = 0; delivered_off = 0; ooo = [];
+    rcv_pending = Hashtbl.create 8; pending_ack_segs = 0;
+    delack_armed = false;
+    on_receive = (fun ~bytes:_ ~msgs:_ -> ());
+    on_writable = (fun () -> ());
+    writable_waiting = false;
+    on_established_cb = (fun _ -> ());
+    on_close_cb = (fun () -> ());
+    c_sndbuf = sndbuf_default }
+
+let tcp_send_rst ns (pkt : Packet.t) (seg : Tcp_wire.t) =
+  ns.cnt.rst_sent <- ns.cnt.rst_sent + 1;
+  let rst =
+    { Tcp_wire.src_port = seg.Tcp_wire.dst_port;
+      dst_port = seg.Tcp_wire.src_port; seq = seg.Tcp_wire.ack_seq;
+      ack_seq = seg.Tcp_wire.seq + seg.Tcp_wire.len;
+      flags = { Tcp_wire.flags_none with Tcp_wire.rst = true; ack = true };
+      window = 0; len = 0; msgs = [] }
+  in
+  ip_output ns
+    (Packet.make ~traced:ns.trace_all ~src:pkt.Packet.dst ~dst:pkt.Packet.src
+       (Packet.Tcp { seg = rst; payload = Payload.raw 0 }))
+
+let tcp_input ns (in_dev : Dev.t option) (pkt : Packet.t) (seg : Tcp_wire.t) =
+  let key = (seg.Tcp_wire.dst_port, pkt.Packet.src, seg.Tcp_wire.src_port) in
+  match Hashtbl.find_opt ns.conns key with
+  | Some c ->
+    ns.cnt.delivered <- ns.cnt.delivered + 1;
+    tcp_conn_input c pkt seg
+  | None -> (
+    match Hashtbl.find_opt ns.listeners seg.Tcp_wire.dst_port with
+    | Some l
+      when seg.Tcp_wire.flags.Tcp_wire.syn
+           && not seg.Tcp_wire.flags.Tcp_wire.ack ->
+      ns.cnt.delivered <- ns.cnt.delivered + 1;
+      let c =
+        tcp_fresh_conn ns ~local_ip:pkt.Packet.dst
+          ~local_port:seg.Tcp_wire.dst_port ~remote_ip:pkt.Packet.src
+          ~remote_port:seg.Tcp_wire.src_port ~state:Syn_rcvd
+      in
+      c.peer_wnd <- seg.Tcp_wire.window;
+      c.on_established_cb <- l.l_on_accept;
+      tcp_register c;
+      tcp_xmit c
+        (tcp_make_segment c
+           ~flags:{ flags_ack with Tcp_wire.syn = true }
+           ~seq:0 ~len:0 ~msgs:[]);
+      tcp_arm_rto c
+    | Some _ | None ->
+      ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + 1;
+      (* Reflector endpoints see every frame of the multiplexed loopback;
+         fractions that don't own the flow must stay silent (§4.2). *)
+      let on_reflector =
+        match in_dev with
+        | Some d -> d.Dev.l2 = Dev.Reflector
+        | None -> false
+      in
+      if (not on_reflector) && not seg.Tcp_wire.flags.Tcp_wire.rst then
+        tcp_send_rst ns pkt seg)
+
+(* ------------------------------------------------------------------ *)
+(* Demux and input                                                     *)
+
+let icmp_input ns (pkt : Packet.t) ~id ~seq ~reply =
+  if reply then begin
+    match Hashtbl.find_opt ns.icmp_waiters id with
+    | None -> ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + 1
+    | Some (t0, k) ->
+      Hashtbl.remove ns.icmp_waiters id;
+      ns.cnt.delivered <- ns.cnt.delivered + 1;
+      k ~rtt_ns:(Engine.now ns.eng - t0)
+  end
+  else begin
+    ns.cnt.delivered <- ns.cnt.delivered + 1;
+    let echo =
+      Packet.make ~traced:ns.trace_all ~src:pkt.Packet.dst ~dst:pkt.Packet.src
+        (Packet.Icmp_echo { id; seq; reply = true })
+    in
+    ip_output ns echo
+  end
+
+let demux ns (in_dev : Dev.t option) (pkt : Packet.t) =
+  (match ns.observer with None -> () | Some f -> f pkt);
+  match pkt.Packet.transport with
+  | Packet.Udp { src_port; dst_port; payload } -> (
+    match Hashtbl.find_opt ns.udp_binds dst_port with
+    | Some s when not s.u_closed ->
+      ns.cnt.delivered <- ns.cnt.delivered + 1;
+      let deliver () =
+        if not s.u_closed then s.u_recv s ~src:(pkt.Packet.src, src_port) payload
+      in
+      if s.u_kernel then deliver ()
+      else Engine.schedule ns.eng ~delay:(wakeup_delay ns) deliver
+    | Some _ | None ->
+      ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + 1;
+      Nest_sim.Log.debug ~engine:ns.eng log_src (fun () ->
+          Format.asprintf "%s: no UDP socket for %a" ns.ns_name Packet.pp pkt))
+  | Packet.Tcp { seg; _ } -> tcp_input ns in_dev pkt seg
+  | Packet.Icmp_echo { id; seq; reply } -> icmp_input ns pkt ~id ~seq ~reply
+
+let ip_local_input ns pkt =
+  let ctx = Netfilter.no_ctx in
+  match Netfilter.run ns.nf_tbl Netfilter.Input ctx pkt with
+  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | Some pkt -> demux ns None pkt
+
+let () = ip_local_input_ref := ip_local_input
+
+(* Input from a device, after the rx hop has been paid. *)
+let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
+  let ctx = { Netfilter.in_dev = Some dev.Dev.name; out_dev = None } in
+  let pkt, translated = Conntrack.translate ns.ct_tbl pkt in
+  let pre =
+    if translated then Some pkt
+    else Netfilter.run ns.nf_tbl Netfilter.Prerouting ctx pkt
+  in
+  match pre with
+  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | Some pkt ->
+    if is_local_addr ns pkt.Packet.dst then begin
+      match Netfilter.run ns.nf_tbl Netfilter.Input ctx pkt with
+      | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+      | Some pkt -> demux ns (Some dev) pkt
+    end
+    else if ns.fwd then begin
+      match Netfilter.run ns.nf_tbl Netfilter.Forward ctx pkt with
+      | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+      | Some pkt -> (
+        match Packet.decrement_ttl pkt with
+        | None -> ns.cnt.dropped_ttl <- ns.cnt.dropped_ttl + 1
+        | Some pkt -> (
+          match Route.lookup ns.rt pkt.Packet.dst with
+          | None -> ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + 1
+          | Some e ->
+            ns.cnt.forwarded_pkts <- ns.cnt.forwarded_pkts + 1;
+            Hop.service ns.cs.forward ~bytes:(Packet.len pkt) (fun () ->
+                transmit_via ns ~dev:e.Route.dev
+                  ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)))
+    end
+    else ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + 1
+
+let dev_rx ns dev frame =
+  (* L2 address filter. *)
+  let accept =
+    Frame.is_broadcast frame
+    || Mac.equal frame.Frame.dst dev.Dev.mac
+    || dev.Dev.l2 = Dev.Reflector
+  in
+  if accept then begin
+    match frame.Frame.body with
+    | Frame.Arp_body a ->
+      Hop.service ns.cs.rx ~bytes:(Frame.len frame) (fun () ->
+          arp_input ns dev a)
+    | Frame.Ipv4_body pkt ->
+      let hop = ns.cs.rx in
+      let cost =
+        Hop.cost_ns hop ~bytes:(Frame.len frame) + nat_surcharge ns
+      in
+      Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec ~cost
+        (fun () -> ip_input ns dev pkt)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Namespace construction and device management                        *)
+
+let add_addr ns dev ip cidr =
+  ns.addr_list <- ns.addr_list @ [ (dev, ip, cidr) ];
+  Route.add ns.rt ~dst:cidr ~dev ~src:ip ()
+
+let attach ns dev =
+  ns.devs <- ns.devs @ [ dev ];
+  Dev.set_rx dev (fun frame -> dev_rx ns dev frame)
+
+let detach ns dev =
+  ns.devs <- List.filter (fun d -> d != dev) ns.devs;
+  ns.addr_list <- List.filter (fun (d, _, _) -> d != dev) ns.addr_list;
+  Route.remove_dev ns.rt dev;
+  Dev.clear_rx dev
+
+let create engine ~name ~costs ?(with_loopback = true) () =
+  let cnt =
+    { delivered = 0; forwarded_pkts = 0; dropped_no_socket = 0;
+      dropped_no_route = 0; dropped_filtered = 0; dropped_ttl = 0;
+      rst_sent = 0 }
+  in
+  let ns =
+    { ns_name = name; eng = engine; cs = costs; nf_tbl = Netfilter.create ();
+      ct_tbl = Conntrack.create (); rt = Route.create (); devs = [];
+      addr_list = []; arp_tbl = Hashtbl.create 16;
+      arp_waiting = Hashtbl.create 4; udp_binds = Hashtbl.create 16;
+      listeners = Hashtbl.create 8; conns = Hashtbl.create 32;
+      icmp_waiters = Hashtbl.create 4; next_eph = ephemeral_base;
+      next_icmp_id = 1; fwd = false; trace_all = false; cnt; lo = None;
+      observer = None; ns_rng = Nest_sim.Prng.split (Engine.rng engine) }
+  in
+  if with_loopback then begin
+    let lo =
+      Dev.create ~mtu:loopback_mtu ~name:(name ^ ":lo") ~mac:(Mac.of_int 0) ()
+    in
+    ns.lo <- Some lo;
+    attach ns lo;
+    add_addr ns lo Ipv4.localhost lo_subnet
+  end;
+  ns
+
+(* ------------------------------------------------------------------ *)
+(* Socket APIs                                                         *)
+
+module Udp = struct
+  type sock = udp_sock
+
+  let bind ns ~port ?(kernel = false) recv =
+    let port = if port = 0 then alloc_ephemeral ns else port in
+    if Hashtbl.mem ns.udp_binds port then
+      failwith
+        (Printf.sprintf "Stack.Udp.bind: port %d busy in %s" port ns.ns_name);
+    let s =
+      { u_ns = ns; u_port = port; u_kernel = kernel; u_recv = recv;
+        u_closed = false }
+    in
+    Hashtbl.replace ns.udp_binds port s;
+    s
+
+  let sendto s ~dst ~dst_port payload =
+    let ns = s.u_ns in
+    let src = src_for ns dst in
+    let pkt =
+      Packet.make ~traced:ns.trace_all ~src ~dst
+        (Packet.Udp { src_port = s.u_port; dst_port; payload })
+    in
+    let hop = ns.cs.tx in
+    let cost =
+      Hop.cost_ns hop ~bytes:(Packet.len pkt)
+      + ns.cs.syscall.Hop.fixed_ns + nat_surcharge ns
+    in
+    Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec ~cost
+      (fun () -> ip_output ns pkt)
+
+  let close s =
+    s.u_closed <- true;
+    Hashtbl.remove s.u_ns.udp_binds s.u_port
+
+  let port s = s.u_port
+  let ns_of s = s.u_ns
+end
+
+module Tcp = struct
+  type conn = tcp_conn
+
+  let listen ns ~port ~on_accept =
+    if Hashtbl.mem ns.listeners port then
+      failwith
+        (Printf.sprintf "Stack.Tcp.listen: port %d busy in %s" port ns.ns_name);
+    Hashtbl.replace ns.listeners port { l_on_accept = on_accept }
+
+  let unlisten ns ~port = Hashtbl.remove ns.listeners port
+
+  let connect ns ~dst ~port ?src ~on_established ?(on_close = fun () -> ()) () =
+    let local_ip =
+      match src with Some s -> s | None -> src_for ns dst
+    in
+    let local_port = alloc_ephemeral ns in
+    let c =
+      tcp_fresh_conn ns ~local_ip ~local_port ~remote_ip:dst ~remote_port:port
+        ~state:Syn_sent
+    in
+    c.on_established_cb <- on_established;
+    c.on_close_cb <- on_close;
+    tcp_register c;
+    tcp_xmit c
+      (tcp_make_segment c
+         ~flags:{ Tcp_wire.flags_none with Tcp_wire.syn = true }
+         ~seq:0 ~len:0 ~msgs:[]);
+    tcp_arm_rto c;
+    c
+
+  let send c ~size ?msg () =
+    if c.c_state = Closed then false
+    else if c.send_off - c.snd_una + size > c.c_sndbuf then begin
+      c.writable_waiting <- true;
+      false
+    end
+    else begin
+      c.send_off <- c.send_off + size;
+      (match msg with
+      | Some m -> Queue.push (c.send_off, m) c.tx_boundaries
+      | None -> ());
+      let hop = c.c_ns.cs.syscall in
+      Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec
+        ~cost:(Hop.cost_ns hop ~bytes:size)
+        (fun () -> tcp_pump c);
+      true
+    end
+
+  let set_on_receive c f = c.on_receive <- f
+  let set_on_writable c f = c.on_writable <- f
+  let set_on_close c f = c.on_close_cb <- f
+
+  let close c =
+    match c.c_state with
+    | Closed -> ()
+    | Syn_sent | Syn_rcvd ->
+      c.c_state <- Closed;
+      tcp_unregister c
+    | Established ->
+      c.c_state <- Fin_wait;
+      tcp_xmit c
+        (tcp_make_segment c
+           ~flags:{ flags_ack with Tcp_wire.fin = true }
+           ~seq:c.snd_nxt ~len:0 ~msgs:[])
+    | Fin_wait | Last_ack -> ()
+
+  let sendq_bytes c = c.send_off - c.snd_una
+  let sndbuf_limit c = c.c_sndbuf
+  let is_established c = c.c_state = Established
+  let is_closed c = c.c_state = Closed
+  let local_endpoint c = (c.c_local_ip, c.c_local_port)
+  let remote_endpoint c = (c.c_remote_ip, c.c_remote_port)
+  let ns_of c = c.c_ns
+  let bytes_received c = c.delivered_off
+  let bytes_acked c = c.snd_una
+  let retransmits c = c.c_retransmits
+end
+
+let ping ns ~dst ~on_reply =
+  let id = ns.next_icmp_id in
+  ns.next_icmp_id <- ns.next_icmp_id + 1;
+  Hashtbl.replace ns.icmp_waiters id (Engine.now ns.eng, on_reply);
+  let pkt =
+    Packet.make ~traced:ns.trace_all ~src:(src_for ns dst) ~dst
+      (Packet.Icmp_echo { id; seq = 1; reply = false })
+  in
+  Hop.service ns.cs.tx ~bytes:(Packet.len pkt) (fun () -> ip_output ns pkt)

@@ -1,0 +1,87 @@
+type mode = Normal | Loopback
+
+type queue = {
+  q_owner : string;
+  mutable backend : (Frame.t -> unit) option;
+  tap : t;
+}
+
+and t = {
+  tap_name : string;
+  tap_mode : mode;
+  hop : Hop.t;
+  per_queue_ns : int;
+  host_side : Dev.t;
+  mutable queue_list : queue list;
+  mutable reflected : int;
+}
+
+let host_input t frame =
+  (* Host side -> guest(s).  With several queues the kernel hashes flows;
+     we deliver to the first queue, which matches single-queue virtio. *)
+  Frame.record_hop frame t.tap_name;
+  match t.queue_list with
+  | [] -> ()
+  | q :: _ -> (
+    match q.backend with
+    | None -> ()
+    | Some backend -> Hop.service t.hop ~bytes:(Frame.len frame) (fun () -> backend frame))
+
+let create engine ~name ~mode ~hop ?(per_queue_ns = 0) ~mac () =
+  ignore engine;
+  let host_side = Dev.create ~name ~mac () in
+  let t =
+    { tap_name = name; tap_mode = mode; hop; per_queue_ns; host_side;
+      queue_list = []; reflected = 0 }
+  in
+  Dev.set_tx host_side (fun frame -> host_input t frame);
+  t
+
+let name t = t.tap_name
+let mode t = t.tap_mode
+let mac t = t.host_side.Dev.mac
+
+let host_dev t =
+  match t.tap_mode with
+  | Normal -> t.host_side
+  | Loopback -> failwith "Tap.host_dev: loopback taps have no host side"
+
+let add_queue t ~owner =
+  let q = { q_owner = owner; backend = None; tap = t } in
+  t.queue_list <- t.queue_list @ [ q ];
+  q
+
+let queues t = t.queue_list
+let queue_owner q = q.q_owner
+let queue_set_backend q f = q.backend <- Some f
+
+let queue_write q frame =
+  let t = q.tap in
+  Frame.record_hop frame t.tap_name;
+  match t.tap_mode with
+  | Normal ->
+    (* Guest -> host side: the frame enters whatever the host attached
+       (bridge port input), after the tap's processing cost. *)
+    Hop.service t.hop ~bytes:(Frame.len frame) (fun () ->
+        Dev.deliver t.host_side frame)
+  | Loopback ->
+    (* §4.2: "it sends back any received Ethernet frame to all of its
+       queues" — including the originating one. *)
+    let deliver_all () =
+      List.iter
+        (fun q' ->
+          match q'.backend with
+          | None -> ()
+          | Some backend ->
+            t.reflected <- t.reflected + 1;
+            backend frame)
+        t.queue_list
+    in
+    let cost =
+      Hop.cost_ns t.hop ~bytes:(Frame.len frame)
+      + (t.per_queue_ns * List.length t.queue_list)
+    in
+    Nest_sim.Exec.submit ?charge_as:t.hop.Hop.charge_as t.hop.Hop.exec ~cost
+      deliver_all
+
+let reflected t = t.reflected

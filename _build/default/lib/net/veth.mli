@@ -1,0 +1,19 @@
+(** Virtual Ethernet pairs.
+
+    A veth pair is two devices joined back-to-back: transmitting on one
+    delivers to the other after paying the direction's {!Hop.t} (in Linux,
+    the crossing runs in the receiving side's softirq context). Veth pairs
+    connect a pod's network namespace to the node's bridge — hop (1) of the
+    paper's packet walk. *)
+
+val pair :
+  a_name:string ->
+  a_mac:Mac.t ->
+  b_name:string ->
+  b_mac:Mac.t ->
+  ab_hop:Hop.t ->
+  ba_hop:Hop.t ->
+  unit ->
+  Dev.t * Dev.t
+(** [pair ()] returns [(a, b)]; frames transmitted on [a] are delivered on
+    [b] after [ab_hop], and symmetrically. *)

@@ -1,0 +1,79 @@
+type Payload.app_msg += Vxlan_encap of Frame.t
+
+let vxlan_header_bytes = 8
+let default_port = 4789
+let overlay_mtu = 1450
+
+type t = {
+  vtep_name : string;
+  vni : int;
+  underlay : Stack.ns;
+  udp_port : int;
+  sock : Stack.Udp.sock;
+  overlay_dev : Dev.t;
+  encap_hop : Hop.t;
+  decap_hop : Hop.t;
+  fdb : (Mac.t, Ipv4.t) Hashtbl.t;
+  mutable remotes : Ipv4.t list;
+  mutable encapsulated : int;
+  mutable decapsulated : int;
+}
+
+let decap t (payload : Payload.t) =
+  match payload.Payload.msg with
+  | Some (Vxlan_encap inner) ->
+    t.decapsulated <- t.decapsulated + 1;
+    Frame.record_hop inner (t.vtep_name ^ ":decap");
+    Hop.service t.decap_hop ~bytes:(Frame.len inner) (fun () ->
+        Dev.deliver t.overlay_dev inner)
+  | Some _ | None -> ()
+
+let encap t (inner : Frame.t) =
+  let targets =
+    if Frame.is_broadcast inner then t.remotes
+    else
+      match Hashtbl.find_opt t.fdb inner.Frame.dst with
+      | Some remote -> [ remote ]
+      | None -> t.remotes
+  in
+  if targets <> [] then begin
+    Frame.record_hop inner (t.vtep_name ^ ":encap");
+    let payload =
+      Payload.make ~size:(Frame.len inner + vxlan_header_bytes)
+        (Vxlan_encap inner)
+    in
+    Hop.service t.encap_hop ~bytes:(Frame.len inner) (fun () ->
+        List.iter
+          (fun remote ->
+            t.encapsulated <- t.encapsulated + 1;
+            Stack.Udp.sendto t.sock ~dst:remote ~dst_port:t.udp_port payload)
+          targets)
+  end
+
+let create underlay ~name ~vni ~local ?(udp_port = default_port) ~encap_hop
+    ~decap_hop () =
+  ignore local;
+  let overlay_dev =
+    Dev.create ~mtu:overlay_mtu ~name:(name ^ ".vtep")
+      ~mac:(Mac.of_int (0x0242000000 lor (vni land 0xffffff)))
+      ()
+  in
+  let rec t =
+    lazy
+      { vtep_name = name; vni; underlay; udp_port;
+        sock =
+          Stack.Udp.bind underlay ~port:udp_port ~kernel:true
+            (fun _ ~src:_ payload -> decap (Lazy.force t) payload);
+        overlay_dev; encap_hop; decap_hop; fdb = Hashtbl.create 16;
+        remotes = []; encapsulated = 0; decapsulated = 0 }
+  in
+  let t = Lazy.force t in
+  Dev.set_tx overlay_dev (fun frame -> encap t frame);
+  t
+
+let dev t = t.overlay_dev
+let vni t = t.vni
+let add_remote t ip = if not (List.mem ip t.remotes) then t.remotes <- t.remotes @ [ ip ]
+let add_fdb t mac ip = Hashtbl.replace t.fdb mac ip
+let encapsulated t = t.encapsulated
+let decapsulated t = t.decapsulated

@@ -1,0 +1,1 @@
+lib/orch/cni.ml: Hashtbl List Nest_net Node

@@ -1,0 +1,1 @@
+lib/orch/cni.mli: Nest_net Node

@@ -1,0 +1,1 @@
+lib/orch/cni_bridge.ml: Cni Nest_container Nest_virt Node

@@ -1,0 +1,1 @@
+lib/orch/cni_bridge.mli: Cni

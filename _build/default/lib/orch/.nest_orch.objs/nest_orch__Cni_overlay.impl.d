@@ -1,0 +1,1 @@
+lib/orch/cni_overlay.ml: Bridge Cni Dev Hop Ipam Ipv4 List Nest_net Nest_virt Node Stack Veth Vxlan

@@ -1,0 +1,1 @@
+lib/orch/cni_overlay.mli: Cni Nest_net Node

@@ -1,0 +1,1 @@
+lib/orch/kube.ml: Cni List Nest_container Nest_net Nest_sim Node Option Pod Scheduler

@@ -1,0 +1,1 @@
+lib/orch/kube.mli: Cni Nest_container Nest_net Nest_sim Node Pod

@@ -1,0 +1,1 @@
+lib/orch/kubelet.ml: Ipv4 List Nest_net Nest_virt Node Printf Route Stack

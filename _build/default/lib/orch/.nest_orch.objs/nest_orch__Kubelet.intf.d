@@ -1,0 +1,1 @@
+lib/orch/kubelet.mli: Dev Ipv4 Mac Nest_net Node Stack

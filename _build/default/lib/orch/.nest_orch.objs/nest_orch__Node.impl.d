@@ -1,0 +1,1 @@
+lib/orch/node.ml: Float Nest_container Nest_virt Printf

@@ -1,0 +1,1 @@
+lib/orch/node.mli: Nest_container Nest_virt

@@ -1,0 +1,1 @@
+lib/orch/pod.ml: Format List Nest_container

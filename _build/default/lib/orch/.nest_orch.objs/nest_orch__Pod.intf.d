@@ -1,0 +1,1 @@
+lib/orch/pod.mli: Format Nest_container

@@ -1,0 +1,1 @@
+lib/orch/scheduler.ml: List Node

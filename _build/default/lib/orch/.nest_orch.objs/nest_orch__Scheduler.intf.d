@@ -1,0 +1,1 @@
+lib/orch/scheduler.mli: Node

@@ -1,0 +1,20 @@
+type t = {
+  cni_name : string;
+  add :
+    pod_name:string ->
+    node:Node.t ->
+    publish:(int * int) list ->
+    k:(Nest_net.Stack.ns -> unit) ->
+    unit;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register t =
+  if Hashtbl.mem registry t.cni_name then
+    failwith ("Cni.register: duplicate plugin " ^ t.cni_name);
+  Hashtbl.replace registry t.cni_name t
+
+let find name = Hashtbl.find_opt registry name
+let names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
+let reset_registry () = Hashtbl.reset registry

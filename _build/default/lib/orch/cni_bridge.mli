@@ -1,0 +1,7 @@
+(** The default CNI plugin: in-VM bridge + NAT (Docker's standard model) —
+    the "NAT" baseline of every figure.  This is the *duplicated* network
+    virtualization layer BrFusion removes. *)
+
+val plugin : unit -> Cni.t
+(** Builds a namespace inside the node's VM, veth-attached to docker0,
+    masqueraded behind the VM address, with published ports DNAT-ed. *)

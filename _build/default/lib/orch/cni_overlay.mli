@@ -1,0 +1,21 @@
+(** Docker Overlay CNI plugin: a VXLAN network spanning VMs — the
+    paper's only pre-existing way to connect the containers of a pod
+    split across nodes (the "Overlay" baseline of §5.3).
+
+    Each member VM gets an overlay bridge plus a VTEP in its root
+    namespace; pod fractions veth into the overlay bridge and receive
+    addresses from a network-wide pool.  Inter-VM frames are VXLAN
+    encapsulated, sent over the underlay (host bridge, two vhost
+    crossings), and decapsulated on the peer. *)
+
+type t
+
+val create : name:string -> vni:int -> subnet:Nest_net.Ipv4.cidr -> t
+
+val plugin : t -> Cni.t
+(** Joins the node to the overlay on first use. *)
+
+val members : t -> Node.t list
+
+val pod_ip : t -> Nest_net.Stack.ns -> Nest_net.Ipv4.t option
+(** The overlay address assigned to a namespace built by this plugin. *)

@@ -1,0 +1,71 @@
+type deployment = {
+  dep_pod : Pod.t;
+  dep_node : Node.t;
+  dep_ns : Nest_net.Stack.ns;
+  dep_containers : Nest_container.Engine.container list;
+}
+
+type t = {
+  engine : Nest_sim.Engine.t;
+  default_cni : Cni.t;
+  mutable node_list : Node.t list;
+  mutable deployment_list : deployment list;
+}
+
+let create engine ~default_cni =
+  { engine; default_cni; node_list = []; deployment_list = [] }
+
+let add_node t n = t.node_list <- t.node_list @ [ n ]
+let nodes t = t.node_list
+
+let deploy_pod t pod ?cni ?node ~on_ready () =
+  let cni = Option.value cni ~default:t.default_cni in
+  let cpu = Pod.cpu_total pod and mem = Pod.mem_total pod in
+  let node =
+    match node with
+    | Some n -> n
+    | None -> (
+      match Scheduler.most_requested t.node_list ~cpu ~mem with
+      | Some n -> n
+      | None ->
+        failwith ("Kube.deploy_pod: no node fits " ^ pod.Pod.pod_name))
+  in
+  Node.reserve node ~cpu ~mem;
+  let publish =
+    List.concat_map (fun c -> c.Pod.ports) pod.Pod.containers
+  in
+  cni.Cni.add ~pod_name:pod.Pod.pod_name ~node ~publish ~k:(fun pod_ns ->
+      let remaining = ref (List.length pod.Pod.containers) in
+      let started = ref [] in
+      List.iter
+        (fun (cs : Pod.container_spec) ->
+          let c =
+            Nest_container.Engine.run (Node.docker node)
+              ~name:(pod.Pod.pod_name ^ "/" ^ cs.Pod.cs_name)
+              ~entity:cs.Pod.cs_name ~image:cs.Pod.image ~netns:pod_ns
+              ~net_setup:Nest_container.Engine.instant_net_setup
+              ~cpu_req:cs.Pod.cpu ~mem_req:cs.Pod.mem
+              ~on_ready:(fun _ ->
+                decr remaining;
+                if !remaining = 0 then begin
+                  let dep =
+                    { dep_pod = pod; dep_node = node; dep_ns = pod_ns;
+                      dep_containers = List.rev !started }
+                  in
+                  t.deployment_list <- t.deployment_list @ [ dep ];
+                  on_ready dep
+                end)
+              ()
+          in
+          started := c :: !started)
+        pod.Pod.containers)
+
+let delete_pod t dep =
+  List.iter
+    (fun c -> Nest_container.Engine.stop (Node.docker dep.dep_node) c)
+    dep.dep_containers;
+  Node.release dep.dep_node ~cpu:(Pod.cpu_total dep.dep_pod)
+    ~mem:(Pod.mem_total dep.dep_pod);
+  t.deployment_list <- List.filter (fun d -> d != dep) t.deployment_list
+
+let deployments t = t.deployment_list

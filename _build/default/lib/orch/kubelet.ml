@@ -1,0 +1,43 @@
+open Nest_net
+
+type t = { kl_node : Node.t; mutable configured : int }
+
+let registry : (string * t) list ref = ref []
+
+let create node =
+  let t = { kl_node = node; configured = 0 } in
+  registry := (Node.name node, t) :: !registry;
+  t
+
+let of_node node =
+  match List.assoc_opt (Node.name node) !registry with
+  | Some t when t.kl_node == node -> t
+  | Some _ | None -> create node
+
+let node t = t.kl_node
+
+let configure_nic t ~netns ~mac ?ip ?subnet ?gateway ~k () =
+  Nest_virt.Vm.wait_nic (Node.vm t.kl_node) ~mac ~k:(fun dev ->
+      Stack.attach netns dev;
+      (match (ip, subnet) with
+      | Some ip, Some subnet -> Stack.add_addr netns dev ip subnet
+      | Some ip, None ->
+        Stack.add_addr netns dev ip
+          (Ipv4.cidr_of_string (Ipv4.to_string ip ^ "/32"))
+      | None, _ -> ());
+      (match gateway with
+      | Some gw -> Route.add_default (Stack.routes netns) ~gateway:gw ~dev ()
+      | None -> ());
+      t.configured <- t.configured + 1;
+      k dev)
+
+let pods_configured t = t.configured
+
+let status t =
+  Printf.sprintf "%s: cpu %.1f/%.1f mem %.1f/%.1f, %d NIC(s) configured"
+    (Node.name t.kl_node)
+    (Node.cpu_requested t.kl_node)
+    (Node.cpu_capacity t.kl_node)
+    (Node.mem_requested t.kl_node)
+    (Node.mem_capacity t.kl_node)
+    t.configured

@@ -1,0 +1,41 @@
+(** The node agent (kubelet): the orchestrator's hands inside each VM.
+
+    In the paper's protocols (§3.1 step 4, §4.1 step 4) the "VM agent"
+    waits for the hot-plugged NIC the VMM announced — identified by the
+    MAC the orchestrator forwarded — and configures it inside the pod's
+    namespace.  [configure_nic] is exactly that operation; the BrFusion
+    and Hostlo CNI plugins and the boot-time experiment all go through
+    it.  The agent also keeps the node-status bookkeeping an orchestrator
+    polls. *)
+
+open Nest_net
+
+type t
+
+val create : Node.t -> t
+(** One agent per node (idempotent per node — see {!of_node}). *)
+
+val of_node : Node.t -> t
+(** The node's agent, creating it on first use. *)
+
+val node : t -> Node.t
+
+val configure_nic :
+  t ->
+  netns:Stack.ns ->
+  mac:Mac.t ->
+  ?ip:Ipv4.t ->
+  ?subnet:Ipv4.cidr ->
+  ?gateway:Ipv4.t ->
+  k:(Dev.t -> unit) ->
+  unit ->
+  unit
+(** Waits for the device with [mac] to become guest-visible (the udev
+    moment), moves it into [netns], optionally assigns [ip]/[subnet] and
+    a default route via [gateway], then hands it to [k]. *)
+
+val pods_configured : t -> int
+(** How many NICs this agent has configured (diagnostics). *)
+
+val status : t -> string
+(** One-line node status (name, capacity, requested, configured pods). *)

@@ -1,0 +1,15 @@
+let pick cmp nodes ~cpu ~mem =
+  List.fold_left
+    (fun best n ->
+      if not (Node.fits n ~cpu ~mem) then best
+      else
+        match best with
+        | None -> Some n
+        | Some b ->
+          if cmp (Node.requested_fraction n) (Node.requested_fraction b)
+          then Some n
+          else best)
+    None nodes
+
+let most_requested nodes ~cpu ~mem = pick (fun a b -> a > b) nodes ~cpu ~mem
+let least_requested nodes ~cpu ~mem = pick (fun a b -> a < b) nodes ~cpu ~mem

@@ -1,0 +1,13 @@
+(** Pod scheduling policies.
+
+    The paper's cost simulation (§5.3.1) uses Kubernetes's "most
+    requested" priority: among feasible nodes, prefer the one whose
+    resources are already the most requested — a consolidation
+    (bin-packing) strategy. *)
+
+val most_requested : Node.t list -> cpu:float -> mem:float -> Node.t option
+(** Feasible node with the highest {!Node.requested_fraction}; ties break
+    toward the earliest node in the list.  [None] when nothing fits. *)
+
+val least_requested : Node.t list -> cpu:float -> mem:float -> Node.t option
+(** The spreading policy (for ablations). *)

@@ -1,0 +1,1 @@
+lib/sim/cpu_account.ml: Array Format Hashtbl List Time

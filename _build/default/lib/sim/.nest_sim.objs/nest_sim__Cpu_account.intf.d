@@ -1,0 +1,1 @@
+lib/sim/cpu_account.mli: Format Time

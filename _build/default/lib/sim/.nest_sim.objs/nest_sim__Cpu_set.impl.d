@@ -1,0 +1,1 @@
+lib/sim/cpu_set.ml: Array Time

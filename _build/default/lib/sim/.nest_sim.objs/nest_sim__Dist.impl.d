@@ -1,0 +1,1 @@
+lib/sim/dist.ml: Float Prng

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Cpu_account Cpu_set Engine List Option Time

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Cpu_account Cpu_set Engine Time

@@ -1,0 +1,1 @@
+lib/sim/log.ml: Engine Format Hashtbl Logs Time

@@ -1,0 +1,1 @@
+lib/sim/log.mli: Engine Logs

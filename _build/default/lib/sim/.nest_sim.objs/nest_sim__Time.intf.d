@@ -1,0 +1,1 @@
+lib/sim/time.mli: Format

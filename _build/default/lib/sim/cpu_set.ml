@@ -1,0 +1,32 @@
+type t = { set_name : string; busy : Time.ns array }
+
+let create ~cores ~name =
+  if cores <= 0 then invalid_arg "Cpu_set.create: cores must be > 0";
+  { set_name = name; busy = Array.make cores 0 }
+
+let cores t = Array.length t.busy
+let name t = t.set_name
+
+let book t ~ready =
+  (* Best fit among already-free cores; earliest-available otherwise. *)
+  let best_free = ref (-1) in
+  let earliest = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v <= ready then begin
+        match !best_free with
+        | -1 -> best_free := i
+        | j -> if v > t.busy.(j) then best_free := i
+      end;
+      if v < t.busy.(!earliest) then earliest := i)
+    t.busy;
+  match !best_free with
+  | -1 -> (t.busy.(!earliest), !earliest)
+  | i -> (ready, i)
+
+let commit t core ~finish = t.busy.(core) <- finish
+
+let busy_until_min t = Array.fold_left min t.busy.(0) t.busy
+
+let busy_cores t ~now =
+  Array.fold_left (fun acc v -> if v > now then acc + 1 else acc) 0 t.busy

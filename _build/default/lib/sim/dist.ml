@@ -1,0 +1,58 @@
+let exponential rng ~mean =
+  let u = 1.0 -. Prng.float rng in
+  -.mean *. log u
+
+let normal rng ~mu ~sigma =
+  let u1 = 1.0 -. Prng.float rng in
+  let u2 = Prng.float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mu ~sigma)
+
+let lognormal_mean_cv rng ~mean ~cv =
+  (* mean = exp(mu + sigma^2/2); cv^2 = exp(sigma^2) - 1 *)
+  let sigma2 = log (1.0 +. (cv *. cv)) in
+  let mu = log mean -. (sigma2 /. 2.0) in
+  lognormal rng ~mu ~sigma:(sqrt sigma2)
+
+let pareto rng ~shape ~scale =
+  let u = 1.0 -. Prng.float rng in
+  scale /. (u ** (1.0 /. shape))
+
+let bounded_pareto rng ~shape ~lo ~hi =
+  (* Inverse CDF of the truncated Pareto. *)
+  let u = Prng.float rng in
+  let la = lo ** shape and ha = hi ** shape in
+  let x = -.((u *. ha) -. u *. la -. ha) /. (ha *. la) in
+  x ** (-1.0 /. shape)
+
+let poisson rng ~mean =
+  if mean <= 0.0 then 0
+  else if mean > 60.0 then
+    let v = normal rng ~mu:mean ~sigma:(sqrt mean) in
+    max 0 (int_of_float (Float.round v))
+  else begin
+    let l = exp (-.mean) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      incr k;
+      p := !p *. Prng.float rng;
+      if !p <= l then continue := false
+    done;
+    !k - 1
+  end
+
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be > 0";
+  (* Rejection method of Devroye (1986, ch. X.6). *)
+  let b = 2.0 ** (s -. 1.0) in
+  let rec draw () =
+    let u = Prng.float rng and v = Prng.float rng in
+    let x = Float.of_int (int_of_float (float_of_int n ** u)) +. 1.0 in
+    let t = (1.0 +. (1.0 /. x)) ** (s -. 1.0) in
+    if v *. x *. (t -. 1.0) /. (b -. 1.0) <= t /. b then int_of_float x
+    else draw ()
+  in
+  min n (draw ())

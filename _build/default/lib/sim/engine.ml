@@ -1,0 +1,43 @@
+type t = {
+  mutable clock : Time.ns;
+  queue : (unit -> unit) Heap.t;
+  root_rng : Prng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 0x5EEDL) () =
+  { clock = 0; queue = Heap.create (); root_rng = Prng.create seed; executed = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~at f =
+  let at = max at t.clock in
+  Heap.push t.queue ~prio:at f
+
+let schedule t ~delay f = schedule_at t ~at:(t.clock + max 0 delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+    t.clock <- at;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Heap.peek_prio t.queue with
+      | Some at when at <= horizon -> ignore (step t)
+      | Some _ | None ->
+        continue := false;
+        t.clock <- max t.clock horizon
+    done
+
+let pending t = Heap.size t.queue
+let events_processed t = t.executed

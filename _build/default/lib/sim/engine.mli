@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (nanoseconds since simulation start) and
+    a priority queue of pending events.  [run] pops events in timestamp
+    order; each event is a thunk that may schedule further events.  All the
+    network devices, CPU contexts and workload generators in this repository
+    are driven by one engine instance per experiment. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time 0.  [seed] initializes the root RNG stream
+    (default [0x5EEDL]); subsystems should [Prng.split] their own streams
+    from {!rng}. *)
+
+val now : t -> Time.ns
+(** Current simulated date. *)
+
+val rng : t -> Prng.t
+(** Root random stream of this engine. *)
+
+val schedule : t -> delay:Time.ns -> (unit -> unit) -> unit
+(** [schedule t ~delay f] fires [f] at [now t + max 0 delay]. *)
+
+val schedule_at : t -> at:Time.ns -> (unit -> unit) -> unit
+(** Absolute-date variant; dates in the past fire immediately (at [now]). *)
+
+val run : ?until:Time.ns -> t -> unit
+(** Pops events until the queue drains, or until the clock would pass
+    [until] (events strictly after [until] remain queued; the clock is left
+    at [until]). *)
+
+val step : t -> bool
+(** Executes exactly one event.  Returns [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far (monotonic). *)

@@ -1,0 +1,62 @@
+type t = {
+  exec_name : string;
+  engine : Engine.t;
+  account : (Cpu_account.t * string * Cpu_account.category) option;
+  also : (Cpu_account.t * string * Cpu_account.category) list;
+  slots : Time.ns array;
+  cpus : Cpu_set.t option;
+  mutable busy_ns : Time.ns;
+}
+
+let create ?account ?(also = []) ?(width = 1) ?cpus engine ~name =
+  if width <= 0 then invalid_arg "Exec.create: width must be > 0";
+  { exec_name = name; engine; account; also; slots = Array.make width 0;
+    cpus; busy_ns = 0 }
+
+let name t = t.exec_name
+let width t = Array.length t.slots
+
+let min_slot t =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < t.slots.(!best) then best := i) t.slots;
+  !best
+
+let submit ?charge_as t ~cost k =
+  let cost = max 0 cost in
+  let now = Engine.now t.engine in
+  let slot = min_slot t in
+  let slot_free = max now t.slots.(slot) in
+  let start, booking =
+    match t.cpus with
+    | None -> (slot_free, None)
+    | Some set ->
+      let start, core = Cpu_set.book set ~ready:slot_free in
+      (start, Some (set, core))
+  in
+  let finish = start + cost in
+  t.slots.(slot) <- finish;
+  (match booking with
+  | None -> ()
+  | Some (set, core) -> Cpu_set.commit set core ~finish);
+  t.busy_ns <- t.busy_ns + cost;
+  (match t.account with
+  | None -> ()
+  | Some (acct, entity, default_cat) ->
+    let cat = Option.value charge_as ~default:default_cat in
+    Cpu_account.charge acct ~entity cat cost);
+  List.iter
+    (fun (acct, entity, cat) -> Cpu_account.charge acct ~entity cat cost)
+    t.also;
+  Engine.schedule_at t.engine ~at:finish k
+
+let busy_until t = t.slots.(min_slot t)
+let busy_ns t = t.busy_ns
+
+let backlog t =
+  let now = Engine.now t.engine in
+  Array.fold_left (fun acc v -> max acc (v - now)) 0 t.slots
+
+let reset_busy t = t.busy_ns <- 0
+
+let utilization t ~window =
+  if window <= 0 then 0.0 else float_of_int t.busy_ns /. float_of_int window

@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap keyed by [(priority, sequence)].
+
+    The sequence number makes extraction FIFO among equal priorities, which
+    keeps the event loop deterministic: two events scheduled for the same
+    instant fire in scheduling order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** Inserts with the next sequence number. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum [(priority, value)]. *)
+
+val peek_prio : 'a t -> int option
+(** Priority of the minimum without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

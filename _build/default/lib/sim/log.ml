@@ -1,0 +1,36 @@
+let sources : (string, Logs.src) Hashtbl.t = Hashtbl.create 16
+
+let src name =
+  let full = "nest." ^ name in
+  match Hashtbl.find_opt sources full with
+  | Some s -> s
+  | None ->
+    let s = Logs.Src.create full ~doc:("nest subsystem " ^ name) in
+    Logs.Src.set_level s None;
+    Hashtbl.add sources full s;
+    s
+
+let reporter_installed = ref false
+
+let enable ?(level = Logs.Debug) () =
+  if not !reporter_installed then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    reporter_installed := true
+  end;
+  Hashtbl.iter (fun _ s -> Logs.Src.set_level s (Some level)) sources;
+  (* Sources created after [enable] inherit via the global level too. *)
+  Logs.set_level ~all:false (Some level)
+
+let disable () = Hashtbl.iter (fun _ s -> Logs.Src.set_level s None) sources
+
+let stamp engine =
+  match engine with
+  | None -> ""
+  | Some e -> Format.asprintf "[%a] " Time.pp (Engine.now e)
+
+let msg level ?engine src thunk =
+  Logs.msg ~src level (fun m -> m "%s%s" (stamp engine) (thunk ()))
+
+let debug ?engine src thunk = msg Logs.Debug ?engine src thunk
+let info ?engine src thunk = msg Logs.Info ?engine src thunk
+let warn ?engine src thunk = msg Logs.Warning ?engine src thunk

@@ -1,0 +1,1 @@
+lib/traces/trace.ml: Buffer Format Hashtbl List Option Printf String

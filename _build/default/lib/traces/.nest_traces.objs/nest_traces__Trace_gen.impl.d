@@ -1,0 +1,1 @@
+lib/traces/trace_gen.ml: Float List Nest_sim Trace

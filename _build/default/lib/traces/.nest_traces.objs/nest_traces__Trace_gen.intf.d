@@ -1,0 +1,1 @@
+lib/traces/trace_gen.mli: Trace

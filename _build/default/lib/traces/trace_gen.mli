@@ -1,0 +1,15 @@
+(** Synthetic cluster-trace generator, calibrated to the published shape
+    of the Google 2011 cluster traces as used in §5.3.1: heavy-tailed
+    per-user job (pod) counts, small multi-task jobs, and per-task
+    resource requests normalized to the largest machine with a
+    heavy-tailed distribution concentrated well below 0.1.
+
+    The real trace is not redistributable here; the generator exercises
+    the identical packing code over the same distributions (see the
+    substitution table in DESIGN.md). *)
+
+val generate : seed:int64 -> users:int -> Trace.user list
+(** Deterministic for a given seed.  The paper evaluates 492 users. *)
+
+val default_users : int
+(** 492. *)

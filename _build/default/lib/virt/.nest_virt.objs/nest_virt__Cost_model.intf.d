@@ -1,0 +1,1 @@
+lib/virt/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/virt/host.ml: Bridge Cost_model Hop Ipv4 Kernel_costs List Mac Nat Nest_net Nest_sim Printf Route Stack Veth

@@ -1,0 +1,1 @@
+lib/virt/host.mli: Bridge Cost_model Hop Ipv4 Mac Nest_net Nest_sim Stack

@@ -1,0 +1,1 @@
+lib/virt/kernel_costs.ml: Cost_model Hop Nest_net Stack

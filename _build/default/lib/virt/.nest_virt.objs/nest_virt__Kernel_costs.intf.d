@@ -1,0 +1,1 @@
+lib/virt/kernel_costs.mli: Cost_model Nest_net Nest_sim

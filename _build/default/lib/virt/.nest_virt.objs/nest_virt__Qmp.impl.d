@@ -1,0 +1,1 @@
+lib/virt/qmp.ml: Format Nest_net

@@ -1,0 +1,1 @@
+lib/virt/qmp.mli: Format Nest_net

@@ -1,0 +1,1 @@
+lib/virt/virtio_net.ml: Cost_model Dev Frame Host Nest_net Nest_sim Tap Vm

@@ -1,0 +1,1 @@
+lib/virt/virtio_net.mli: Dev Mac Nest_net Nest_sim Tap Vm

@@ -1,0 +1,1 @@
+lib/virt/vm.ml: Cost_model Dev Hop Host Kernel_costs List Mac Nest_net Nest_sim Stack

@@ -1,0 +1,1 @@
+lib/virt/vm.mli: Dev Hop Host Mac Nest_net Nest_sim Stack

@@ -1,0 +1,1 @@
+lib/virt/vmm.ml: Bridge Cost_model Dev Format Hashtbl Hop Host List Nest_net Nest_sim Printf Qmp Route Stack Tap Virtio_net Vm

@@ -1,0 +1,1 @@
+lib/virt/vmm.mli: Dev Host Ipv4 Mac Nest_net Qmp Tap Vm

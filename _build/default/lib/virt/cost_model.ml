@@ -1,0 +1,97 @@
+type t = {
+  syscall_fixed_ns : int;
+  stack_tx_fixed_ns : int;
+  stack_tx_per_byte_ns : float;
+  stack_rx_fixed_ns : int;
+  stack_rx_per_byte_ns : float;
+  forward_fixed_ns : int;
+  nat_hook_fixed_ns : int;
+  nat_rule_ns : int;
+  loopback_fixed_ns : int;
+  loopback_per_byte_ns : float;
+  veth_fixed_ns : int;
+  veth_per_byte_ns : float;
+  bridge_fixed_ns : int;
+  bridge_per_byte_ns : float;
+  tap_fixed_ns : int;
+  guest_kernel_factor : float;
+  wakeup_delay_ns : int;
+  vhost_fixed_ns : int;
+  vhost_per_byte_ns : float;
+  virtio_kick_delay_ns : int;
+  virtio_notify_delay_ns : int;
+  hostlo_reflect_fixed_ns : int;
+  hostlo_reflect_per_byte_ns : float;
+  hostlo_per_queue_fixed_ns : int;
+  vxlan_encap_fixed_ns : int;
+  vxlan_encap_per_byte_ns : float;
+  vxlan_decap_fixed_ns : int;
+  vxlan_decap_per_byte_ns : float;
+  qmp_roundtrip_mean_ns : float;
+  qmp_roundtrip_cv : float;
+  guest_probe_mean_ns : float;
+  guest_probe_cv : float;
+}
+
+let default =
+  { syscall_fixed_ns = 350;
+    stack_tx_fixed_ns = 900;
+    stack_tx_per_byte_ns = 0.20;
+    stack_rx_fixed_ns = 750;
+    stack_rx_per_byte_ns = 0.15;
+    forward_fixed_ns = 450;
+    nat_hook_fixed_ns = 650;
+    nat_rule_ns = 170;
+    loopback_fixed_ns = 1_400;
+    loopback_per_byte_ns = 2.30;
+    veth_fixed_ns = 500;
+    veth_per_byte_ns = 0.05;
+    bridge_fixed_ns = 420;
+    bridge_per_byte_ns = 0.04;
+    tap_fixed_ns = 260;
+    guest_kernel_factor = 1.40;
+    wakeup_delay_ns = 5_800;
+    vhost_fixed_ns = 2_300;
+    vhost_per_byte_ns = 0.75;
+    virtio_kick_delay_ns = 1_200;
+    virtio_notify_delay_ns = 6_200;
+    hostlo_reflect_fixed_ns = 850;
+    hostlo_reflect_per_byte_ns = 0.45;
+    hostlo_per_queue_fixed_ns = 450;
+    vxlan_encap_fixed_ns = 2_600;
+    vxlan_encap_per_byte_ns = 0.10;
+    vxlan_decap_fixed_ns = 2_200;
+    vxlan_decap_per_byte_ns = 0.10;
+    qmp_roundtrip_mean_ns = 250_000.0;
+    qmp_roundtrip_cv = 0.30;
+    guest_probe_mean_ns = 12_000_000.0;
+    guest_probe_cv = 0.25 }
+
+let scale_i f x = int_of_float (Float.round (f *. float_of_int x))
+
+let scaled t f =
+  { t with
+    syscall_fixed_ns = scale_i f t.syscall_fixed_ns;
+    stack_tx_fixed_ns = scale_i f t.stack_tx_fixed_ns;
+    stack_tx_per_byte_ns = f *. t.stack_tx_per_byte_ns;
+    stack_rx_fixed_ns = scale_i f t.stack_rx_fixed_ns;
+    stack_rx_per_byte_ns = f *. t.stack_rx_per_byte_ns;
+    forward_fixed_ns = scale_i f t.forward_fixed_ns;
+    nat_hook_fixed_ns = scale_i f t.nat_hook_fixed_ns;
+    nat_rule_ns = scale_i f t.nat_rule_ns;
+    loopback_fixed_ns = scale_i f t.loopback_fixed_ns;
+    loopback_per_byte_ns = f *. t.loopback_per_byte_ns;
+    veth_fixed_ns = scale_i f t.veth_fixed_ns;
+    veth_per_byte_ns = f *. t.veth_per_byte_ns;
+    bridge_fixed_ns = scale_i f t.bridge_fixed_ns;
+    bridge_per_byte_ns = f *. t.bridge_per_byte_ns;
+    tap_fixed_ns = scale_i f t.tap_fixed_ns;
+    vhost_fixed_ns = scale_i f t.vhost_fixed_ns;
+    vhost_per_byte_ns = f *. t.vhost_per_byte_ns;
+    hostlo_reflect_fixed_ns = scale_i f t.hostlo_reflect_fixed_ns;
+    hostlo_reflect_per_byte_ns = f *. t.hostlo_reflect_per_byte_ns;
+    hostlo_per_queue_fixed_ns = scale_i f t.hostlo_per_queue_fixed_ns;
+    vxlan_encap_fixed_ns = scale_i f t.vxlan_encap_fixed_ns;
+    vxlan_encap_per_byte_ns = f *. t.vxlan_encap_per_byte_ns;
+    vxlan_decap_fixed_ns = scale_i f t.vxlan_decap_fixed_ns;
+    vxlan_decap_per_byte_ns = f *. t.vxlan_decap_per_byte_ns }

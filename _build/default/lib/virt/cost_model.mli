@@ -1,0 +1,62 @@
+(** Calibrated per-hop costs — the single source of performance truth.
+
+    Every datapath element in the simulator draws its per-packet CPU cost
+    from this table.  The values are nanoseconds of service time on the
+    executing context (plus a per-byte term for copies), chosen so that
+    the *composed paths* of the paper's six deployment modes reproduce the
+    relative results of its evaluation (see test/test_calibration.ml):
+    they are per-hop microcosts in the range reported for Linux
+    networking, not per-experiment fudge factors.  [t] is a record so
+    ablation benches can perturb individual entries. *)
+
+type t = {
+  (* Process-context stack work. *)
+  syscall_fixed_ns : int;       (** send/recv syscall entry. *)
+  stack_tx_fixed_ns : int;      (** IP/TCP transmit path per segment. *)
+  stack_tx_per_byte_ns : float; (** copy-out. *)
+  (* Softirq-context stack work. *)
+  stack_rx_fixed_ns : int;      (** driver + IP receive per packet. *)
+  stack_rx_per_byte_ns : float;
+  forward_fixed_ns : int;       (** IP forwarding decision. *)
+  nat_hook_fixed_ns : int;      (** netfilter traversal when armed. *)
+  nat_rule_ns : int;            (** additional cost per installed rule. *)
+  loopback_fixed_ns : int;      (** local (lo) delivery per packet. *)
+  loopback_per_byte_ns : float;
+  (* L2 devices. *)
+  veth_fixed_ns : int;
+  veth_per_byte_ns : float;
+  bridge_fixed_ns : int;
+  bridge_per_byte_ns : float;
+  tap_fixed_ns : int;           (** normal-mode tap traversal. *)
+  (* Virtualization. *)
+  guest_kernel_factor : float;
+      (** Multiplier on guest-kernel datapath costs (vmexits, EPT and
+          shadow-structure overheads make the same kernel work dearer in
+          a guest). *)
+  wakeup_delay_ns : int;
+      (** Scheduler wakeup latency before a blocked application thread
+          runs its receive callback — pure delay, no CPU charge. *)
+  vhost_fixed_ns : int;         (** vhost worker per descriptor. *)
+  vhost_per_byte_ns : float;
+  virtio_kick_delay_ns : int;   (** guest->vhost doorbell (eventfd). *)
+  virtio_notify_delay_ns : int; (** vhost->guest interrupt injection. *)
+  hostlo_reflect_fixed_ns : int;     (** loopback-tap reflection, total. *)
+  hostlo_reflect_per_byte_ns : float;
+  hostlo_per_queue_fixed_ns : int;   (** extra per served queue. *)
+  (* Overlay. *)
+  vxlan_encap_fixed_ns : int;
+  vxlan_encap_per_byte_ns : float;
+  vxlan_decap_fixed_ns : int;
+  vxlan_decap_per_byte_ns : float;
+  (* Management-plane latencies (hot-plug path, Fig. 8). *)
+  qmp_roundtrip_mean_ns : float;     (** VMM side-channel command RTT. *)
+  qmp_roundtrip_cv : float;
+  guest_probe_mean_ns : float;       (** in-guest virtio probe + udev. *)
+  guest_probe_cv : float;
+}
+
+val default : t
+
+val scaled : t -> float -> t
+(** Multiplies every datapath cost (not the management-plane latencies);
+    used by ablation benches. *)

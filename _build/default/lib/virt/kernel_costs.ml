@@ -1,0 +1,17 @@
+open Nest_net
+
+let stack_costs (cm : Cost_model.t) ~sys_exec ~soft_exec =
+  { Stack.tx =
+      Hop.make sys_exec ~fixed_ns:cm.Cost_model.stack_tx_fixed_ns
+        ~per_byte_ns:cm.Cost_model.stack_tx_per_byte_ns;
+    rx =
+      Hop.make soft_exec ~fixed_ns:cm.Cost_model.stack_rx_fixed_ns
+        ~per_byte_ns:cm.Cost_model.stack_rx_per_byte_ns;
+    forward = Hop.make soft_exec ~fixed_ns:cm.Cost_model.forward_fixed_ns;
+    nat = Hop.make soft_exec ~fixed_ns:cm.Cost_model.nat_hook_fixed_ns;
+    nat_per_rule_ns = cm.Cost_model.nat_rule_ns;
+    local =
+      Hop.make sys_exec ~fixed_ns:cm.Cost_model.loopback_fixed_ns
+        ~per_byte_ns:cm.Cost_model.loopback_per_byte_ns;
+    syscall = Hop.make sys_exec ~fixed_ns:cm.Cost_model.syscall_fixed_ns;
+    wakeup_delay_ns = cm.Cost_model.wakeup_delay_ns }

@@ -1,0 +1,8 @@
+(** Builds per-namespace {!Nest_net.Stack.costs} from a cost model and a
+    kernel's two execution contexts (process-context and softirq). *)
+
+val stack_costs :
+  Cost_model.t ->
+  sys_exec:Nest_sim.Exec.t ->
+  soft_exec:Nest_sim.Exec.t ->
+  Nest_net.Stack.costs

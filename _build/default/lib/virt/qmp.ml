@@ -1,0 +1,21 @@
+type command =
+  | Netdev_add of { id : string; bridge : string }
+  | Netdev_add_hostlo of { id : string; hostlo : string }
+  | Device_add of { id : string; netdev : string }
+  | Device_del of { id : string }
+
+type response =
+  | Ok_done
+  | Ok_nic of { mac : Nest_net.Mac.t }
+  | Error of string
+
+let command_name = function
+  | Netdev_add _ -> "netdev_add"
+  | Netdev_add_hostlo _ -> "netdev_add_hostlo"
+  | Device_add _ -> "device_add"
+  | Device_del _ -> "device_del"
+
+let pp_response fmt = function
+  | Ok_done -> Format.pp_print_string fmt "ok"
+  | Ok_nic { mac } -> Format.fprintf fmt "ok mac=%a" Nest_net.Mac.pp mac
+  | Error e -> Format.fprintf fmt "error: %s" e

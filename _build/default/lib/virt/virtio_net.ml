@@ -1,0 +1,47 @@
+open Nest_net
+
+type t = {
+  nic_id : string;
+  guest_dev : Dev.t;
+  vhost : Nest_sim.Exec.t;
+  mutable plugged : bool;
+}
+
+let create ~vm ~id ~mac ~queue ~vhost ?(l2 = Dev.Normal) () =
+  let host = Vm.host vm in
+  let cm = Host.cost_model host in
+  let engine = Host.engine host in
+  let guest_dev = Dev.create ~name:(Vm.name vm ^ ":" ^ id) ~mac ~l2 () in
+  let t = { nic_id = id; guest_dev; vhost; plugged = true } in
+  let vhost_cost bytes =
+    cm.Cost_model.vhost_fixed_ns
+    + int_of_float (cm.Cost_model.vhost_per_byte_ns *. float_of_int bytes)
+  in
+  (* Guest -> host: doorbell kick wakes the vhost worker, which dequeues
+     from the TX vring and writes the tap. *)
+  Dev.set_tx guest_dev (fun frame ->
+      if t.plugged then
+        Nest_sim.Engine.schedule engine ~delay:cm.Cost_model.virtio_kick_delay_ns
+          (fun () ->
+            if t.plugged then
+              Nest_sim.Exec.submit t.vhost ~cost:(vhost_cost (Frame.len frame))
+                (fun () -> if t.plugged then Tap.queue_write queue frame)));
+  (* Host -> guest: vhost fills the RX vring, then injects an interrupt;
+     the injection latency is pure delay (no context occupied). *)
+  Tap.queue_set_backend queue (fun frame ->
+      if t.plugged then
+        Nest_sim.Exec.submit t.vhost ~cost:(vhost_cost (Frame.len frame))
+          (fun () ->
+            if t.plugged then
+              Nest_sim.Engine.schedule engine
+                ~delay:cm.Cost_model.virtio_notify_delay_ns (fun () ->
+                  if t.plugged then Dev.deliver t.guest_dev frame)));
+  t
+
+let dev t = t.guest_dev
+let vhost_exec t = t.vhost
+let id t = t.nic_id
+
+let unplug t =
+  t.plugged <- false;
+  t.guest_dev.Dev.up <- false

@@ -1,0 +1,93 @@
+open Nest_net
+module Exec = Nest_sim.Exec
+module Cpu_account = Nest_sim.Cpu_account
+
+type t = {
+  vm_name : string;
+  vm_host : Host.t;
+  vm_vcpus : int;
+  vm_mem_mb : int;
+  vm_cpuset : Nest_sim.Cpu_set.t;
+  sys : Exec.t;
+  soft : Exec.t;
+  vm_ns : Stack.ns;
+  mutable entity_list : string list;
+  mutable nic_list : Dev.t list;
+  mutable nic_waiters : (Mac.t * (Dev.t -> unit)) list;
+}
+
+let guest_cost_model host =
+  let cm = Host.cost_model host in
+  Cost_model.scaled cm cm.Cost_model.guest_kernel_factor
+
+let create host ~name ~vcpus ~mem_mb =
+  let engine = Host.engine host in
+  let acct = Host.account host in
+  let guest_charge = [ (acct, Host.entity host, Cpu_account.Guest) ] in
+  let vm_cpuset = Nest_sim.Cpu_set.create ~cores:vcpus ~name in
+  let sys =
+    Exec.create ~account:(acct, name, Cpu_account.Sys) ~also:guest_charge
+      ~width:vcpus ~cpus:vm_cpuset engine ~name:(name ^ ":sys")
+  in
+  let soft =
+    Exec.create ~account:(acct, name, Cpu_account.Soft) ~also:guest_charge
+      ~cpus:vm_cpuset engine ~name:(name ^ ":softirq")
+  in
+  let costs =
+    Kernel_costs.stack_costs (guest_cost_model host) ~sys_exec:sys
+      ~soft_exec:soft
+  in
+  let vm_ns = Stack.create engine ~name ~costs () in
+  Stack.set_ip_forward vm_ns true;
+  { vm_name = name; vm_host = host; vm_vcpus = vcpus; vm_mem_mb = mem_mb;
+    vm_cpuset; sys; soft; vm_ns; entity_list = [ name ]; nic_list = [];
+    nic_waiters = [] }
+
+let name t = t.vm_name
+let host t = t.vm_host
+let vcpus t = t.vm_vcpus
+let mem_mb t = t.vm_mem_mb
+let ns t = t.vm_ns
+let cpu_set t = t.vm_cpuset
+let sys_exec t = t.sys
+let soft_exec t = t.soft
+
+let new_netns t ~name ?(with_loopback = true) () =
+  let costs =
+    Kernel_costs.stack_costs (guest_cost_model t.vm_host) ~sys_exec:t.sys
+      ~soft_exec:t.soft
+  in
+  Stack.create (Host.engine t.vm_host) ~name ~costs ~with_loopback ()
+
+let new_app_exec t ~name ~entity =
+  let acct = Host.account t.vm_host in
+  if not (List.mem entity t.entity_list) then
+    t.entity_list <- t.entity_list @ [ entity ];
+  Exec.create
+    ~account:(acct, entity, Cpu_account.Usr)
+    ~also:[ (acct, Host.entity t.vm_host, Cpu_account.Guest) ]
+    ~cpus:t.vm_cpuset (Host.engine t.vm_host) ~name
+
+let guest_hops t ~veth:() =
+  let cm = guest_cost_model t.vm_host in
+  ( Hop.make t.soft ~fixed_ns:cm.Cost_model.veth_fixed_ns
+      ~per_byte_ns:cm.Cost_model.veth_per_byte_ns,
+    Hop.make t.soft ~fixed_ns:cm.Cost_model.bridge_fixed_ns
+      ~per_byte_ns:cm.Cost_model.bridge_per_byte_ns )
+
+let entities t = t.entity_list
+
+let nic_arrived t dev =
+  t.nic_list <- t.nic_list @ [ dev ];
+  let ready, waiting =
+    List.partition (fun (mac, _) -> Mac.equal mac dev.Dev.mac) t.nic_waiters
+  in
+  t.nic_waiters <- waiting;
+  List.iter (fun (_, k) -> k dev) ready
+
+let wait_nic t ~mac ~k =
+  match List.find_opt (fun d -> Mac.equal d.Dev.mac mac) t.nic_list with
+  | Some dev -> k dev
+  | None -> t.nic_waiters <- t.nic_waiters @ [ (mac, k) ]
+
+let nics t = t.nic_list

@@ -1,0 +1,204 @@
+open Nest_net
+module Engine = Nest_sim.Engine
+
+let log_src = Nest_sim.Log.src "vmm"
+
+type backend =
+  | Tap_backend of Tap.t
+  | Hostlo_backend of Tap.t
+
+type t = {
+  vmm_host : Host.t;
+  vmm_rng : Nest_sim.Prng.t;
+  mutable vm_list : (string * Vm.t) list;
+  mutable hostlo_list : (string * Tap.t) list;
+  netdevs : (string * string, backend) Hashtbl.t;
+  nic_tbl : (string * string, Virtio_net.t) Hashtbl.t;
+}
+
+let create host =
+  { vmm_host = host; vmm_rng = Nest_sim.Prng.split (Host.rng host);
+    vm_list = []; hostlo_list = []; netdevs = Hashtbl.create 16;
+    nic_tbl = Hashtbl.create 16 }
+
+let host t = t.vmm_host
+let vms t = t.vm_list
+let find_vm t name = List.assoc_opt name t.vm_list
+
+let bridge_self_addr t br =
+  let hns = Host.ns t.vmm_host in
+  let self = Bridge.self_dev br in
+  List.find_map
+    (fun (d, ip, cidr) -> if d == self then Some (ip, cidr) else None)
+    (Stack.addrs hns)
+
+let make_tap_on_bridge t ~name ~bridge =
+  match Host.find_bridge t.vmm_host bridge with
+  | None -> Error (Printf.sprintf "no such bridge: %s" bridge)
+  | Some br ->
+    let tap =
+      Tap.create (Host.engine t.vmm_host) ~name ~mode:Tap.Normal
+        ~hop:(Host.tap_hop t.vmm_host) ~mac:(Host.fresh_mac t.vmm_host) ()
+    in
+    Bridge.attach br (Tap.host_dev tap);
+    Ok tap
+
+let create_vm t ~name ~vcpus ~mem_mb ~bridge ~ip =
+  let br =
+    match Host.find_bridge t.vmm_host bridge with
+    | Some br -> br
+    | None -> failwith ("Vmm.create_vm: no such bridge: " ^ bridge)
+  in
+  let gw, subnet =
+    match bridge_self_addr t br with
+    | Some a -> a
+    | None -> failwith ("Vmm.create_vm: bridge has no address: " ^ bridge)
+  in
+  let vm = Vm.create t.vmm_host ~name ~vcpus ~mem_mb in
+  let tap =
+    match make_tap_on_bridge t ~name:("tap-" ^ name) ~bridge with
+    | Ok tap -> tap
+    | Error e -> failwith ("Vmm.create_vm: " ^ e)
+  in
+  let queue = Tap.add_queue tap ~owner:name in
+  let vhost = Host.new_vhost_exec t.vmm_host ~name:("vhost-" ^ name) in
+  let nic =
+    Virtio_net.create ~vm ~id:"eth0" ~mac:(Host.fresh_mac t.vmm_host) ~queue
+      ~vhost ()
+  in
+  let dev = Virtio_net.dev nic in
+  Stack.attach (Vm.ns vm) dev;
+  Stack.add_addr (Vm.ns vm) dev ip subnet;
+  Route.add_default (Stack.routes (Vm.ns vm)) ~gateway:gw ~dev ();
+  Hashtbl.replace t.nic_tbl (name, "eth0") nic;
+  Vm.nic_arrived vm dev;
+  t.vm_list <- t.vm_list @ [ (name, vm) ];
+  vm
+
+let bridge_addr t name =
+  match Host.find_bridge t.vmm_host name with
+  | None -> None
+  | Some br -> bridge_self_addr t br
+
+let create_hostlo t ~name =
+  let cm = Host.cost_model t.vmm_host in
+  let hop =
+    Hop.make (Host.soft_exec t.vmm_host)
+      ~fixed_ns:cm.Cost_model.hostlo_reflect_fixed_ns
+      ~per_byte_ns:cm.Cost_model.hostlo_reflect_per_byte_ns
+  in
+  let tap =
+    Tap.create (Host.engine t.vmm_host) ~name ~mode:Tap.Loopback ~hop
+      ~per_queue_ns:cm.Cost_model.hostlo_per_queue_fixed_ns
+      ~mac:(Host.fresh_mac t.vmm_host) ()
+  in
+  t.hostlo_list <- t.hostlo_list @ [ (name, tap) ];
+  tap
+
+let find_hostlo t name = List.assoc_opt name t.hostlo_list
+
+let sample_latency t ~mean ~cv =
+  int_of_float (Nest_sim.Dist.lognormal_mean_cv t.vmm_rng ~mean ~cv)
+
+let qmp_delay t =
+  let cm = Host.cost_model t.vmm_host in
+  sample_latency t ~mean:cm.Cost_model.qmp_roundtrip_mean_ns
+    ~cv:cm.Cost_model.qmp_roundtrip_cv
+
+let probe_delay t =
+  let cm = Host.cost_model t.vmm_host in
+  sample_latency t ~mean:cm.Cost_model.guest_probe_mean_ns
+    ~cv:cm.Cost_model.guest_probe_cv
+
+let perform t ~vm cmd =
+  let vm_name = Vm.name vm in
+  match cmd with
+  | Qmp.Netdev_add { id; bridge } -> (
+    match make_tap_on_bridge t ~name:(vm_name ^ ":" ^ id) ~bridge with
+    | Error e -> Qmp.Error e
+    | Ok tap ->
+      Hashtbl.replace t.netdevs (vm_name, id) (Tap_backend tap);
+      Qmp.Ok_done)
+  | Qmp.Netdev_add_hostlo { id; hostlo } -> (
+    match find_hostlo t hostlo with
+    | None -> Qmp.Error ("no such hostlo: " ^ hostlo)
+    | Some tap ->
+      Hashtbl.replace t.netdevs (vm_name, id) (Hostlo_backend tap);
+      Qmp.Ok_done)
+  | Qmp.Device_add { id; netdev } -> (
+    match Hashtbl.find_opt t.netdevs (vm_name, netdev) with
+    | None -> Qmp.Error ("no such netdev: " ^ netdev)
+    | Some backend ->
+      let tap, l2 =
+        match backend with
+        | Tap_backend tap -> (tap, Dev.Normal)
+        | Hostlo_backend tap -> (tap, Dev.Reflector)
+      in
+      let mac =
+        (* Every queue of a Hostlo tap shares the tap's MAC: it is one
+           interface multiplexed between VMs (§4.2). *)
+        match backend with
+        | Hostlo_backend tap -> Tap.mac tap
+        | Tap_backend _ -> Host.fresh_mac t.vmm_host
+      in
+      let queue = Tap.add_queue tap ~owner:vm_name in
+      let vhost =
+        Host.new_vhost_exec t.vmm_host
+          ~name:(Printf.sprintf "vhost-%s-%s" vm_name id)
+      in
+      let nic = Virtio_net.create ~vm ~id ~mac ~queue ~vhost ~l2 () in
+      Hashtbl.replace t.nic_tbl (vm_name, id) nic;
+      (* The frontend exists as soon as QMP returns; the guest sees the
+         device once its virtio probe completes. *)
+      Engine.schedule (Host.engine t.vmm_host) ~delay:(probe_delay t)
+        (fun () -> Vm.nic_arrived vm (Virtio_net.dev nic));
+      Qmp.Ok_nic { mac })
+  | Qmp.Device_del { id } -> (
+    match Hashtbl.find_opt t.nic_tbl (vm_name, id) with
+    | None -> Qmp.Error ("no such device: " ^ id)
+    | Some nic ->
+      Virtio_net.unplug nic;
+      Hashtbl.remove t.nic_tbl (vm_name, id);
+      Qmp.Ok_done)
+
+let execute t ~vm cmd k =
+  Nest_sim.Log.info ~engine:(Host.engine t.vmm_host) log_src (fun () ->
+      Printf.sprintf "qmp %s -> %s" (Qmp.command_name cmd) (Vm.name vm));
+  Engine.schedule (Host.engine t.vmm_host) ~delay:(qmp_delay t) (fun () ->
+      let r = perform t ~vm cmd in
+      Nest_sim.Log.info ~engine:(Host.engine t.vmm_host) log_src (fun () ->
+          Format.asprintf "qmp %s @ %s: %a" (Qmp.command_name cmd)
+            (Vm.name vm) Qmp.pp_response r);
+      k r)
+
+let hotplug_nic_mac t ~vm ~bridge ~id ~k =
+  execute t ~vm (Qmp.Netdev_add { id = id ^ "-nd"; bridge }) (fun r1 ->
+      match r1 with
+      | Qmp.Error e -> failwith ("hotplug_nic: " ^ e)
+      | Qmp.Ok_done | Qmp.Ok_nic _ ->
+        execute t ~vm (Qmp.Device_add { id; netdev = id ^ "-nd" }) (fun r2 ->
+            match r2 with
+            | Qmp.Ok_nic { mac } -> k mac
+            | Qmp.Ok_done | Qmp.Error _ ->
+              failwith "hotplug_nic: device_add failed"))
+
+let hotplug_nic t ~vm ~bridge ~id ~k =
+  hotplug_nic_mac t ~vm ~bridge ~id ~k:(fun mac -> Vm.wait_nic vm ~mac ~k)
+
+let hotplug_hostlo_endpoint_mac t ~vm ~hostlo ~id ~k =
+  execute t ~vm (Qmp.Netdev_add_hostlo { id = id ^ "-nd"; hostlo }) (fun r1 ->
+      match r1 with
+      | Qmp.Error e -> failwith ("hotplug_hostlo_endpoint: " ^ e)
+      | Qmp.Ok_done | Qmp.Ok_nic _ ->
+        execute t ~vm (Qmp.Device_add { id; netdev = id ^ "-nd" }) (fun r2 ->
+            match r2 with
+            | Qmp.Ok_nic { mac } -> k mac
+            | Qmp.Ok_done | Qmp.Error _ ->
+              failwith "hotplug_hostlo_endpoint: device_add failed"))
+
+let hotplug_hostlo_endpoint t ~vm ~hostlo ~id ~k =
+  hotplug_hostlo_endpoint_mac t ~vm ~hostlo ~id ~k:(fun mac ->
+      Vm.wait_nic vm ~mac ~k)
+
+let unplug_nic t ~vm ~id =
+  execute t ~vm (Qmp.Device_del { id }) (fun _ -> ())

@@ -1,0 +1,60 @@
+(** The virtual machine manager: creates VMs, executes management commands
+    over their QMP side channels, and owns the two mechanisms the paper
+    adds to the management plane:
+
+    - NIC hot-plug into a running VM, backed by a fresh host tap enslaved
+      to a host bridge (BrFusion's primitive, §3);
+    - creation of Hostlo multiplexed loopback taps and insertion of their
+      per-VM queue endpoints (§4).
+
+    [execute] models the asynchronous QMP round-trip; hot-plugged devices
+    become guest-visible only after the in-guest virtio probe delay, and
+    are then handed to {!Vm.wait_nic} waiters — the paper's VM-agent
+    discovery by MAC. *)
+
+open Nest_net
+
+type t
+
+val create : Host.t -> t
+val host : t -> Host.t
+
+val create_vm :
+  t -> name:string -> vcpus:int -> mem_mb:int -> bridge:string -> ip:Ipv4.t -> Vm.t
+(** Boots a VM with one cold-plugged NIC ([eth0]) on the named host
+    bridge, addressed [ip] with the bridge's subnet and the bridge as
+    default gateway. *)
+
+val vms : t -> (string * Vm.t) list
+val find_vm : t -> string -> Vm.t option
+
+val execute : t -> vm:Vm.t -> Qmp.command -> (Qmp.response -> unit) -> unit
+
+val bridge_addr : t -> string -> (Ipv4.t * Ipv4.cidr) option
+(** The (gateway address, subnet) of a host bridge's self interface. *)
+
+val create_hostlo : t -> name:string -> Tap.t
+(** New loopback-mode tap in the host kernel (no VM attached yet). *)
+
+val find_hostlo : t -> string -> Tap.t option
+
+(* Convenience wrappers bundling the §3.1/§4.1 orchestrator<->VMM
+   protocol: netdev_add + device_add + in-guest discovery. *)
+
+val hotplug_nic :
+  t -> vm:Vm.t -> bridge:string -> id:string -> k:(Dev.t -> unit) -> unit
+(** [k] fires once the NIC is guest-visible. *)
+
+val hotplug_nic_mac :
+  t -> vm:Vm.t -> bridge:string -> id:string -> k:(Mac.t -> unit) -> unit
+(** Like {!hotplug_nic} but hands back the MAC as soon as the VMM answers
+    (§3.1 step 3): discovery of the guest-visible device is then the VM
+    agent's job ({!Vm.wait_nic}, or [Nest_orch.Kubelet.configure_nic]). *)
+
+val hotplug_hostlo_endpoint :
+  t -> vm:Vm.t -> hostlo:string -> id:string -> k:(Dev.t -> unit) -> unit
+
+val hotplug_hostlo_endpoint_mac :
+  t -> vm:Vm.t -> hostlo:string -> id:string -> k:(Mac.t -> unit) -> unit
+
+val unplug_nic : t -> vm:Vm.t -> id:string -> unit

@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Array Deploy Ipv4 List Nest_net Nest_sim Nestfusion Option Printf Stack Testbed

@@ -1,0 +1,1 @@
+lib/workloads/app.mli: Deploy Ipv4 Nest_net Nest_sim Nestfusion Payload Stack Testbed

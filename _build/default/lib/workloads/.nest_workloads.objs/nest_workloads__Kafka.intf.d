@@ -1,0 +1,1 @@
+lib/workloads/kafka.mli: App Nest_sim Nestfusion Testbed

@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: App List Nest_net Nest_sim Nestfusion Payload Stack Testbed

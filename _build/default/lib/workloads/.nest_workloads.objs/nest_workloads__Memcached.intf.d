@@ -1,0 +1,1 @@
+lib/workloads/memcached.mli: App Nest_sim Nestfusion Testbed

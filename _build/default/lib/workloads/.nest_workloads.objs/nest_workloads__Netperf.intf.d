@@ -1,0 +1,1 @@
+lib/workloads/netperf.mli: App Nest_sim Nestfusion Testbed

@@ -1,0 +1,1 @@
+lib/workloads/nginx.ml: App Array List Nest_net Nest_sim Nestfusion Payload Stack Testbed

@@ -1,0 +1,1 @@
+lib/workloads/nginx.mli: App Nest_sim Nestfusion Testbed

@@ -1,0 +1,125 @@
+open Nest_net
+open Nestfusion
+module Engine = Nest_sim.Engine
+module Time = Nest_sim.Time
+
+type op = Get | Set
+
+type Payload.app_msg +=
+  | Mc_request of { op : op; id : int; t0 : Time.ns }
+  | Mc_response of { id : int; t0 : Time.ns }
+
+type result = {
+  responses_per_sec : float;
+  latency : Nest_sim.Stats.t;
+  gets : int;
+  sets : int;
+}
+
+(* Wire sizes: textual protocol framing plus key/value bytes. *)
+let get_request_bytes = 40
+let set_request_bytes value = 48 + value
+let get_response_bytes value = 38 + value
+let set_response_bytes = 8
+
+(* Server-side service costs (request parse, hash lookup, slab
+   read/write, response build). *)
+let get_service_mean_ns = 7_000.0
+let set_service_mean_ns = 9_000.0
+let service_cv = 0.25
+
+(* memtier's own per-request client work (request build, response parse,
+   histogram update). *)
+let client_cost_ns = 11_000
+
+let run tb (ep : App.endpoints) ?(threads = 4) ?(conns_per_thread = 50)
+    ?(value_size = 100) ?(server_threads = 4) ?(warmup = Time.ms 100)
+    ?(duration = Time.sec 1) () =
+  let engine = tb.Testbed.engine in
+  let rng = Nest_sim.Prng.split (Engine.rng engine) in
+  let latency = Nest_sim.Stats.create ~name:"memcached_us" () in
+  let gets = ref 0 and sets = ref 0 and responses = ref 0 in
+  let measuring = ref false in
+  let stop_at = ref max_int in
+  let pool = App.Pool.create ep.App.sv_new_exec ~n:server_threads ~name:"mc" in
+  let client_pool =
+    App.Pool.create ep.App.cl_new_exec ~n:threads ~name:"memtier"
+  in
+  (* Server: service each request on a worker thread, then respond. *)
+  Stack.Tcp.listen ep.App.sv_ns ~port:ep.App.sv_port ~on_accept:(fun conn ->
+      Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+          List.iter
+            (fun msg ->
+              match msg with
+              | Mc_request { op; id; t0 } ->
+                let mean =
+                  match op with
+                  | Get -> get_service_mean_ns
+                  | Set -> set_service_mean_ns
+                in
+                let cost =
+                  int_of_float
+                    (Nest_sim.Dist.lognormal_mean_cv rng ~mean ~cv:service_cv)
+                in
+                let resp_bytes =
+                  match op with
+                  | Get -> get_response_bytes value_size
+                  | Set -> set_response_bytes
+                in
+                App.Pool.submit pool ~cost (fun () ->
+                    if not (Stack.Tcp.is_closed conn) then
+                      App.send_all conn ~size:resp_bytes
+                        ~msg:(Mc_response { id; t0 })
+                        ())
+              | _ -> ())
+            msgs));
+  (* memtier: one closed loop per connection. *)
+  let next_id = ref 0 in
+  let new_request conn =
+    incr next_id;
+    let id = !next_id in
+    (* SET:GET = 1:10. *)
+    let op = if Nest_sim.Prng.int rng 11 = 0 then Set else Get in
+    if !measuring then (match op with Get -> incr gets | Set -> incr sets);
+    let bytes =
+      match op with
+      | Get -> get_request_bytes
+      | Set -> set_request_bytes value_size
+    in
+    App.Pool.submit client_pool ~cost:client_cost_ns (fun () ->
+        if not (Stack.Tcp.is_closed conn) then
+          App.send_all conn ~size:bytes
+            ~msg:(Mc_request { op; id; t0 = Engine.now engine })
+            ())
+  in
+  let total_conns = threads * conns_per_thread in
+  for _ = 1 to total_conns do
+    ignore
+      (Stack.Tcp.connect ep.App.cl_ns ~dst:ep.App.sv_addr ~port:ep.App.sv_port
+         ~on_established:(fun conn ->
+           Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+               List.iter
+                 (fun msg ->
+                   match msg with
+                   | Mc_response { t0; _ } ->
+                     if !measuring then begin
+                       Nest_sim.Stats.add latency
+                         (Time.to_us_f (Engine.now engine - t0));
+                       incr responses
+                     end;
+                     if Engine.now engine < !stop_at then new_request conn
+                   | _ -> ())
+                 msgs);
+           new_request conn)
+         ())
+  done;
+  let t0 = Engine.now engine in
+  stop_at := t0 + warmup + duration;
+  Engine.run ~until:(t0 + warmup) engine;
+  measuring := true;
+  Engine.run ~until:!stop_at engine;
+  Engine.run ~until:(!stop_at + Time.ms 20) engine;
+  measuring := false;
+  Stack.Tcp.unlisten ep.App.sv_ns ~port:ep.App.sv_port;
+  { responses_per_sec = float_of_int !responses /. Time.to_sec_f duration;
+    latency; gets = !gets; sets = !sets }

@@ -1,0 +1,30 @@
+(** Memcached server + memtier_benchmark client (Table 1 row 1).
+
+    memtier drives a closed loop: [threads × conns_per_thread] persistent
+    TCP connections, each issuing the next request as soon as the
+    previous response arrives, with a SET:GET ratio of 1:10.  Metrics are
+    responses per second and the per-request latency distribution —
+    Figs. 5 (gain), 11/12 (Hostlo overhead) and the CPU figures. *)
+
+open Nestfusion
+
+type result = {
+  responses_per_sec : float;
+  latency : Nest_sim.Stats.t;  (** Per-request, us. *)
+  gets : int;
+  sets : int;
+}
+
+val run :
+  Testbed.t ->
+  App.endpoints ->
+  ?threads:int ->
+  ?conns_per_thread:int ->
+  ?value_size:int ->
+  ?server_threads:int ->
+  ?warmup:Nest_sim.Time.ns ->
+  ?duration:Nest_sim.Time.ns ->
+  unit ->
+  result
+(** Defaults follow Table 1: 4 threads, 50 connections/thread, 1:10
+    SET:GET; 100-byte values; 4 server worker threads. *)

@@ -1,0 +1,160 @@
+open Nest_net
+open Nestfusion
+module Engine = Nest_sim.Engine
+module Time = Nest_sim.Time
+
+type stream_result = { mbps : float; bytes_delivered : int; sends : int }
+
+(* Application-side per-call costs (netperf itself is a thin loop). *)
+let app_send_cost_ns = 180
+let app_recv_cost_ns = 250
+
+let tcp_stream tb (ep : App.endpoints) ~msg_size ?(warmup = Time.ms 100)
+    ?(duration = Time.sec 2) () =
+  let engine = tb.Testbed.engine in
+  let received = ref 0 in
+  let sends = ref 0 in
+  Stack.Tcp.listen ep.App.sv_ns ~port:ep.App.sv_port ~on_accept:(fun conn ->
+      Stack.Tcp.set_on_receive conn (fun ~bytes ~msgs:_ ->
+          received := !received + bytes;
+          Nest_sim.Exec.submit ep.App.sv_exec ~cost:app_recv_cost_ns
+            (fun () -> ())));
+  let stop_at = ref max_int in
+  let rec fill conn =
+    if Engine.now engine < !stop_at then begin
+      let accepted = ref true in
+      while !accepted do
+        if Stack.Tcp.send conn ~size:msg_size () then begin
+          incr sends;
+          Nest_sim.Exec.submit ep.App.cl_exec ~cost:app_send_cost_ns
+            (fun () -> ())
+        end
+        else accepted := false
+      done;
+      Stack.Tcp.set_on_writable conn (fun () -> fill conn)
+    end
+  in
+  let _conn =
+    Stack.Tcp.connect ep.App.cl_ns ~dst:ep.App.sv_addr ~port:ep.App.sv_port
+      ~on_established:(fun conn -> fill conn)
+      ()
+  in
+  let t0 = Engine.now engine in
+  stop_at := t0 + warmup + duration;
+  Engine.run ~until:(t0 + warmup) engine;
+  let base = !received in
+  Engine.run ~until:!stop_at engine;
+  Stack.Tcp.unlisten ep.App.sv_ns ~port:ep.App.sv_port;
+  let bytes = !received - base in
+  let mbps = float_of_int (bytes * 8) /. Time.to_sec_f duration /. 1e6 in
+  { mbps; bytes_delivered = bytes; sends = !sends }
+
+type rr_result = { latency : Nest_sim.Stats.t; transactions : int }
+
+let udp_rr tb (ep : App.endpoints) ~msg_size ?(warmup = Time.ms 50)
+    ?(duration = Time.sec 1) () =
+  let engine = tb.Testbed.engine in
+  let latency = Nest_sim.Stats.create ~name:"udp_rr_us" () in
+  let transactions = ref 0 in
+  let measuring = ref false in
+  let stop_at = ref max_int in
+  let server =
+    Stack.Udp.bind ep.App.sv_ns ~port:ep.App.sv_port
+      (fun s ~src payload ->
+        let ip, p = src in
+        (* Echo after the server's per-transaction application work. *)
+        Nest_sim.Exec.submit ep.App.sv_exec ~cost:app_recv_cost_ns (fun () ->
+            Stack.Udp.sendto s ~dst:ip ~dst_port:p payload))
+  in
+  let sent_at = ref 0 in
+  let client_sock = ref None in
+  let send_next () =
+    match !client_sock with
+    | None -> ()
+    | Some sock ->
+      sent_at := Engine.now engine;
+      Stack.Udp.sendto sock ~dst:ep.App.sv_addr ~dst_port:ep.App.sv_port
+        (Payload.raw msg_size)
+  in
+  let sock =
+    Stack.Udp.bind ep.App.cl_ns ~port:0 (fun _ ~src:_ _ ->
+        let rtt = Engine.now engine - !sent_at in
+        if !measuring then begin
+          Nest_sim.Stats.add latency (Time.to_us_f rtt);
+          incr transactions
+        end;
+        if Engine.now engine < !stop_at then
+          Nest_sim.Exec.submit ep.App.cl_exec ~cost:app_send_cost_ns send_next)
+  in
+  client_sock := Some sock;
+  let t0 = Engine.now engine in
+  stop_at := t0 + warmup + duration;
+  send_next ();
+  Engine.run ~until:(t0 + warmup) engine;
+  measuring := true;
+  Engine.run ~until:!stop_at engine;
+  (* Let the final in-flight transaction land. *)
+  Engine.run ~until:(!stop_at + Time.ms 10) engine;
+  Stack.Udp.close server;
+  Stack.Udp.close sock;
+  { latency; transactions = !transactions }
+
+type Nest_net.Payload.app_msg +=
+  | Rr_req of { t0 : Time.ns }
+  | Rr_resp of { t0 : Time.ns }
+
+let tcp_rr tb (ep : App.endpoints) ~msg_size ?(warmup = Time.ms 50)
+    ?(duration = Time.sec 1) () =
+  let engine = tb.Testbed.engine in
+  let latency = Nest_sim.Stats.create ~name:"tcp_rr_us" () in
+  let transactions = ref 0 in
+  let measuring = ref false in
+  let stop_at = ref max_int in
+  Stack.Tcp.listen ep.App.sv_ns ~port:ep.App.sv_port ~on_accept:(fun conn ->
+      Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+          List.iter
+            (fun msg ->
+              match msg with
+              | Rr_req { t0 } ->
+                Nest_sim.Exec.submit ep.App.sv_exec ~cost:app_recv_cost_ns
+                  (fun () ->
+                    if not (Stack.Tcp.is_closed conn) then
+                      App.send_all conn ~size:msg_size ~msg:(Rr_resp { t0 }) ())
+              | _ -> ())
+            msgs));
+  let send_next conn =
+    App.send_all conn ~size:msg_size
+      ~msg:(Rr_req { t0 = Engine.now engine })
+      ()
+  in
+  ignore
+    (Stack.Tcp.connect ep.App.cl_ns ~dst:ep.App.sv_addr ~port:ep.App.sv_port
+       ~on_established:(fun conn ->
+         Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+             List.iter
+               (fun msg ->
+                 match msg with
+                 | Rr_resp { t0 } ->
+                   if !measuring then begin
+                     Nest_sim.Stats.add latency
+                       (Time.to_us_f (Engine.now engine - t0));
+                     incr transactions
+                   end;
+                   if Engine.now engine < !stop_at then
+                     Nest_sim.Exec.submit ep.App.cl_exec
+                       ~cost:app_send_cost_ns (fun () ->
+                         if not (Stack.Tcp.is_closed conn) then send_next conn)
+                 | _ -> ())
+               msgs);
+         send_next conn)
+       ());
+  let t0 = Engine.now engine in
+  stop_at := t0 + warmup + duration;
+  Engine.run ~until:(t0 + warmup) engine;
+  measuring := true;
+  Engine.run ~until:!stop_at engine;
+  Engine.run ~until:(!stop_at + Time.ms 10) engine;
+  Stack.Tcp.unlisten ep.App.sv_ns ~port:ep.App.sv_port;
+  { latency; transactions = !transactions }
+
+let default_sizes = [ 64; 128; 256; 512; 1024; 1280; 2048; 4096; 8192; 16384 ]

@@ -1,0 +1,58 @@
+(** Netperf (§5.1): the micro-benchmark behind Figs. 2, 4 and 10.
+
+    - [tcp_stream]: one connection, the client sends fixed-size messages
+      as fast as the socket accepts them for the measurement window; the
+      metric is average payload throughput.
+    - [udp_rr]: synchronous request/response transactions, one at a
+      time; the metric is the transaction latency distribution.
+
+    Both run a warmup before the measured window and drive the engine to
+    completion themselves. *)
+
+open Nestfusion
+
+type stream_result = {
+  mbps : float;              (** Payload Mbit/s over the window. *)
+  bytes_delivered : int;
+  sends : int;
+}
+
+val tcp_stream :
+  Testbed.t ->
+  App.endpoints ->
+  msg_size:int ->
+  ?warmup:Nest_sim.Time.ns ->
+  ?duration:Nest_sim.Time.ns ->
+  unit ->
+  stream_result
+(** Defaults: 100 ms warmup, 2 s measured (the paper uses 20 s wall
+    time; in simulation the steady state is reached well within 2 s —
+    benches can lengthen it). *)
+
+type rr_result = {
+  latency : Nest_sim.Stats.t;  (** Per-transaction round-trip, us. *)
+  transactions : int;
+}
+
+val udp_rr :
+  Testbed.t ->
+  App.endpoints ->
+  msg_size:int ->
+  ?warmup:Nest_sim.Time.ns ->
+  ?duration:Nest_sim.Time.ns ->
+  unit ->
+  rr_result
+
+val tcp_rr :
+  Testbed.t ->
+  App.endpoints ->
+  msg_size:int ->
+  ?warmup:Nest_sim.Time.ns ->
+  ?duration:Nest_sim.Time.ns ->
+  unit ->
+  rr_result
+(** Netperf's TCP_RR mode: synchronous transactions over one persistent
+    connection. *)
+
+val default_sizes : int list
+(** The message-size sweep of Figs. 4 and 10: 64 B .. 16 KiB. *)

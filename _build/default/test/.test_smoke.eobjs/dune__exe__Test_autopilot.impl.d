@@ -1,0 +1,1 @@
+test/test_autopilot.ml: Alcotest Autopilot Ipv4 List Nest_net Nest_orch Nest_sim Nestfusion Payload Pod_resources Stack Testbed

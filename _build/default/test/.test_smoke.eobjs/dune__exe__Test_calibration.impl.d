@@ -1,0 +1,1 @@
+test/test_calibration.ml: Alcotest Deploy List Nest_costsim Nest_experiments Nest_sim Nest_traces Nest_workloads Nestfusion Option Printf Testbed

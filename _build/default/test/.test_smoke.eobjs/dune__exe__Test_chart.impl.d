@@ -1,0 +1,1 @@
+test/test_chart.ml: Alcotest Gen List Nest_experiments QCheck QCheck_alcotest String

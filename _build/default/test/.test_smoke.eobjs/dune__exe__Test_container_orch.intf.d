@@ -1,0 +1,1 @@
+test/test_container_orch.mli:

@@ -1,0 +1,1 @@
+test/test_costsim.ml: Alcotest Hashtbl List Nest_costsim Nest_traces Option QCheck QCheck_alcotest

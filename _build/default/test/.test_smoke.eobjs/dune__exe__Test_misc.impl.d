@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring Conntrack Dev Format Frame Hop Ipv4 List Logs Mac Nest_experiments Nest_net Nest_sim Nest_virt Nestfusion Packet Payload

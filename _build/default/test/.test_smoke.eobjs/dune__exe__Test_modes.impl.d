@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Deploy Format Ipv4 List Modes Nest_net Nest_sim Nestfusion Path_probe Payload Stack Testbed

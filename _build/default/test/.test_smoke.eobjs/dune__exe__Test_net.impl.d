@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bridge Conntrack Dev Frame Hop Ipam Ipv4 List Mac Nat Nest_net Nest_sim Netfilter Option Packet Payload Printf QCheck QCheck_alcotest Route Tap Tcp_wire Veth

@@ -1,0 +1,1 @@
+test/test_netem.ml: Alcotest Dev Frame Hop Int64 Ipv4 Mac Nest_net Nest_sim Nest_workloads Nestfusion Netem Option Packet Payload Printf QCheck QCheck_alcotest Stack Veth

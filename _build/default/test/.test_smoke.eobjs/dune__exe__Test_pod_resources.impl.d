@@ -1,0 +1,1 @@
+test/test_pod_resources.ml: Alcotest Nest_net Nest_sim Nestfusion Printf Shm String Volumes

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Conntrack Dev Frame Fun Gen Hop Ipv4 List Mac Nest_net Nest_orch Nest_sim Nest_workloads Nestfusion Option Packet Payload QCheck QCheck_alcotest Route Stack Tap Veth

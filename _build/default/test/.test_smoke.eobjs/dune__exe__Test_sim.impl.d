@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Gen List Nest_sim Printf QCheck QCheck_alcotest

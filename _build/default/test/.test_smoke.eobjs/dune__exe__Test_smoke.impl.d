@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Dev Ipv4 List Nest_net Nest_sim Nest_virt Payload Route Stack

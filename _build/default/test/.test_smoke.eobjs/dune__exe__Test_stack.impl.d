@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Dev Hop Ipv4 List Mac Nat Nest_net Nest_sim Netfilter Option Payload Route Stack Veth

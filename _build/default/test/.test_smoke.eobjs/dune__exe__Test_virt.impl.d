@@ -1,0 +1,1 @@
+test/test_virt.ml: Alcotest Cost_model Dev Frame Host Ipv4 List Mac Nest_net Nest_sim Nest_virt Option Packet Payload Printf QCheck QCheck_alcotest Qmp Stack Tap Vm Vmm

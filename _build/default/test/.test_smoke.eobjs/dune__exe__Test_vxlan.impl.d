@@ -1,0 +1,1 @@
+test/test_vxlan.ml: Alcotest Array Bridge Dev Frame Hop Ipv4 List Mac Nest_net Nest_sim Packet Payload Printf Stack Veth Vxlan

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Deploy List Nest_sim Nest_workloads Nestfusion Option Printf Testbed

@@ -1,0 +1,428 @@
+(* Unit + property tests for the networking substrate. *)
+
+open Nest_net
+module Engine = Nest_sim.Engine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Addresses *)
+
+let test_mac_roundtrip =
+  QCheck.Test.make ~name:"mac of_string/to_string roundtrip" ~count:300
+    QCheck.(int_bound ((1 lsl 30) - 1))
+    (fun i ->
+      let m = Mac.of_int i in
+      Mac.equal m (Mac.of_string (Mac.to_string m)))
+
+let test_mac_basics () =
+  Alcotest.(check string) "format" "00:00:00:00:01:02"
+    (Mac.to_string (Mac.of_int 0x0102));
+  Alcotest.(check bool) "broadcast" true (Mac.is_broadcast Mac.broadcast);
+  Alcotest.check_raises "bad parse" (Invalid_argument "Mac.of_string: zz")
+    (fun () -> ignore (Mac.of_string "zz"))
+
+let test_mac_alloc_unique () =
+  let a = Mac.Alloc.create () in
+  let macs = List.init 1000 (fun _ -> Mac.Alloc.fresh a) in
+  Alcotest.(check int) "all distinct" 1000
+    (List.length (List.sort_uniq Mac.compare macs));
+  List.iter
+    (fun m ->
+      let hi = Mac.to_int m lsr 40 in
+      Alcotest.(check bool) "locally administered unicast" true
+        (hi land 0x02 = 0x02 && hi land 0x01 = 0))
+    macs
+
+let test_ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 of_string/to_string roundtrip" ~count:300
+    QCheck.(int_bound 0xffffff)
+    (fun i ->
+      let ip = Ipv4.of_int (i * 199) in
+      Ipv4.equal ip (Ipv4.of_string (Ipv4.to_string ip)))
+
+let test_cidr () =
+  let c = Ipv4.cidr_of_string "10.1.2.0/24" in
+  Alcotest.(check bool) "member" true (Ipv4.in_subnet c (Ipv4.of_string "10.1.2.77"));
+  Alcotest.(check bool) "non member" false
+    (Ipv4.in_subnet c (Ipv4.of_string "10.1.3.1"));
+  Alcotest.(check string) "network" "10.1.2.0" (Ipv4.to_string (Ipv4.network c));
+  Alcotest.(check string) "broadcast" "10.1.2.255"
+    (Ipv4.to_string (Ipv4.broadcast_addr c));
+  Alcotest.(check int) "hosts" 254 (Ipv4.host_count c);
+  Alcotest.(check string) "host 5" "10.1.2.5" (Ipv4.to_string (Ipv4.host c 5));
+  (* Base is masked. *)
+  Alcotest.(check string) "masked base" "192.168.0.0/16"
+    (Ipv4.cidr_to_string (Ipv4.cidr_of_string "192.168.3.4/16"))
+
+(* ------------------------------------------------------------------ *)
+(* Packet / frame *)
+
+let udp_pkt ?(src = "10.0.0.1") ?(dst = "10.0.0.2") ?(sport = 1111)
+    ?(dport = 2222) ?(size = 100) () =
+  Packet.make ~src:(Ipv4.of_string src) ~dst:(Ipv4.of_string dst)
+    (Packet.Udp { src_port = sport; dst_port = dport; payload = Payload.raw size })
+
+let test_packet_len () =
+  Alcotest.(check int) "udp len = 20 + 8 + payload" 128
+    (Packet.len (udp_pkt ~size:100 ()));
+  let tcp =
+    Packet.make ~src:Ipv4.localhost ~dst:Ipv4.localhost
+      (Packet.Tcp
+         { seg =
+             { Tcp_wire.src_port = 1; dst_port = 2; seq = 0; ack_seq = 0;
+               flags = Tcp_wire.flags_none; window = 0; len = 500; msgs = [] };
+           payload = Payload.raw 500 })
+  in
+  Alcotest.(check int) "tcp len = 20 + 20 + payload" 540 (Packet.len tcp)
+
+let test_packet_rewrites () =
+  let p = udp_pkt () in
+  let p' =
+    Packet.with_ports ~src_port:9 (Packet.with_addrs ~src:(Ipv4.of_string "1.2.3.4") p)
+  in
+  Alcotest.(check (option (pair int int))) "ports" (Some (9, 2222)) (Packet.ports p');
+  Alcotest.(check string) "src" "1.2.3.4" (Ipv4.to_string p'.Packet.src);
+  Alcotest.(check string) "dst unchanged" "10.0.0.2" (Ipv4.to_string p'.Packet.dst)
+
+let test_ttl () =
+  let rec burn p n =
+    match Packet.decrement_ttl p with
+    | None -> n
+    | Some p' -> burn p' (n + 1)
+  in
+  Alcotest.(check int) "default ttl allows 63 hops" 63 (burn (udp_pkt ()) 0)
+
+let test_frame_len_minimum () =
+  let f =
+    Frame.make ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+      (Frame.Ipv4_body (udp_pkt ~size:1 ()))
+  in
+  Alcotest.(check int) "runt padded to 60" 60 (Frame.len f)
+
+let test_trace_shared_across_reframe () =
+  let p = Packet.make ~traced:true ~src:Ipv4.localhost ~dst:Ipv4.localhost
+      (Packet.Icmp_echo { id = 1; seq = 1; reply = false })
+  in
+  let f1 = Frame.make ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2) (Frame.Ipv4_body p) in
+  Frame.record_hop f1 "a";
+  (* NAT rewrite + new frame at the next hop. *)
+  let p2 = Packet.with_addrs ~dst:(Ipv4.of_string "9.9.9.9") p in
+  let f2 = Frame.make ~src:(Mac.of_int 3) ~dst:(Mac.of_int 4) (Frame.Ipv4_body p2) in
+  Frame.record_hop f2 "b";
+  Alcotest.(check (list string)) "trace survives rewrite and reframe"
+    [ "a"; "b" ] (Packet.hops p)
+
+(* ------------------------------------------------------------------ *)
+(* Ipam *)
+
+let test_ipam_unique =
+  QCheck.Test.make ~name:"ipam allocations are unique and in-subnet" ~count:50
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let pool = Ipv4.cidr_of_string "172.30.0.0/22" in
+      let ipam = Ipam.create pool in
+      let ips = List.init n (fun _ -> Ipam.alloc ipam) in
+      List.length (List.sort_uniq Ipv4.compare ips) = n
+      && List.for_all (Ipv4.in_subnet pool) ips)
+
+let test_ipam_exhaustion_and_free () =
+  let ipam = Ipam.create (Ipv4.cidr_of_string "10.9.0.0/30") in
+  (* /30 has 2 usable hosts. *)
+  Alcotest.(check int) "capacity" 2 (Ipam.capacity ipam);
+  let a = Ipam.alloc ipam in
+  let _b = Ipam.alloc ipam in
+  Alcotest.check_raises "exhausted" (Failure "Ipam.alloc: pool exhausted")
+    (fun () -> ignore (Ipam.alloc ipam));
+  Ipam.free ipam a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument ("Ipam.free: not allocated: " ^ Ipv4.to_string a))
+    (fun () -> Ipam.free ipam a);
+  let c = Ipam.alloc ipam in
+  Alcotest.(check bool) "freed address reusable" true (Ipv4.equal a c)
+
+let test_ipam_reserved () =
+  let gw = Ipv4.of_string "10.8.0.1" in
+  let ipam = Ipam.create ~reserved:[ gw ] (Ipv4.cidr_of_string "10.8.0.0/29") in
+  let all = List.init (Ipam.capacity ipam) (fun _ -> Ipam.alloc ipam) in
+  Alcotest.(check bool) "gateway never handed out" false
+    (List.exists (Ipv4.equal gw) all)
+
+(* ------------------------------------------------------------------ *)
+(* Route *)
+
+let dummy_dev name = Dev.create ~name ~mac:(Mac.of_int 42) ()
+
+let test_route_lpm () =
+  let rt = Route.create () in
+  let d0 = dummy_dev "default" and d1 = dummy_dev "wide" and d2 = dummy_dev "narrow" in
+  Route.add_default rt ~gateway:(Ipv4.of_string "192.168.0.1") ~dev:d0 ();
+  Route.add rt ~dst:(Ipv4.cidr_of_string "10.0.0.0/8") ~dev:d1 ();
+  Route.add rt ~dst:(Ipv4.cidr_of_string "10.0.5.0/24") ~dev:d2 ();
+  let via ip =
+    match Route.lookup rt (Ipv4.of_string ip) with
+    | Some e -> e.Route.dev.Dev.name
+    | None -> "none"
+  in
+  Alcotest.(check string) "longest prefix" "narrow" (via "10.0.5.9");
+  Alcotest.(check string) "wider" "wide" (via "10.9.0.1");
+  Alcotest.(check string) "default" "default" (via "8.8.8.8");
+  let e = Option.get (Route.lookup rt (Ipv4.of_string "8.8.8.8")) in
+  Alcotest.(check string) "gateway next hop" "192.168.0.1"
+    (Ipv4.to_string (Route.next_hop e (Ipv4.of_string "8.8.8.8")));
+  let e2 = Option.get (Route.lookup rt (Ipv4.of_string "10.0.5.9")) in
+  Alcotest.(check string) "on-link next hop" "10.0.5.9"
+    (Ipv4.to_string (Route.next_hop e2 (Ipv4.of_string "10.0.5.9")));
+  Route.remove_dev rt d2;
+  Alcotest.(check string) "after removal" "wide" (via "10.0.5.9")
+
+let test_route_recency_ties () =
+  let rt = Route.create () in
+  let d1 = dummy_dev "old" and d2 = dummy_dev "new" in
+  Route.add rt ~dst:(Ipv4.cidr_of_string "10.0.0.0/24") ~dev:d1 ();
+  Route.add rt ~dst:(Ipv4.cidr_of_string "10.0.0.0/24") ~dev:d2 ();
+  let e = Option.get (Route.lookup rt (Ipv4.of_string "10.0.0.5")) in
+  Alcotest.(check string) "most recent equal-prefix wins" "new" e.Route.dev.Dev.name
+
+(* ------------------------------------------------------------------ *)
+(* Netfilter / conntrack *)
+
+let test_netfilter_order_and_mangle () =
+  let nf = Netfilter.create () in
+  let order = ref [] in
+  let mk name verdict =
+    { Netfilter.rule_name = name;
+      matches = (fun _ _ -> true);
+      action =
+        (fun _ p ->
+          order := name :: !order;
+          verdict p) }
+  in
+  Netfilter.append nf Netfilter.Input (mk "first" (fun p ->
+      Netfilter.Mangle (Packet.with_addrs ~src:(Ipv4.of_string "7.7.7.7") p)));
+  Netfilter.append nf Netfilter.Input (mk "second" (fun _ -> Netfilter.Accept));
+  (match Netfilter.run nf Netfilter.Input Netfilter.no_ctx (udp_pkt ()) with
+  | Some p ->
+    Alcotest.(check string) "mangled src visible downstream" "7.7.7.7"
+      (Ipv4.to_string p.Packet.src)
+  | None -> Alcotest.fail "dropped");
+  Alcotest.(check (list string)) "rule order" [ "first"; "second" ]
+    (List.rev !order);
+  Alcotest.(check int) "rule count" 2 (Netfilter.rule_count nf Netfilter.Input)
+
+let test_netfilter_drop_and_remove () =
+  let nf = Netfilter.create () in
+  Nat.drop_from nf ~name:"deny" ~hook:Netfilter.Forward
+    ~src_subnet:(Ipv4.cidr_of_string "10.0.0.0/8");
+  Alcotest.(check bool) "dropped" true
+    (Netfilter.run nf Netfilter.Forward Netfilter.no_ctx (udp_pkt ()) = None);
+  Netfilter.remove nf Netfilter.Forward "deny";
+  Alcotest.(check bool) "accepted after removal" true
+    (Netfilter.run nf Netfilter.Forward Netfilter.no_ctx (udp_pkt ()) <> None)
+
+let test_conntrack_snat_reverse =
+  QCheck.Test.make ~name:"snat then reply-translate restores the original flow"
+    ~count:200
+    QCheck.(quad (int_bound 0xffff) (int_bound 0xffff) (int_range 1 65000) (int_range 1 65000))
+    (fun (s, d, sp, dp) ->
+      let ct = Conntrack.create () in
+      let nat_ip = Ipv4.of_string "10.0.0.1" in
+      let pkt =
+        Packet.make
+          ~src:(Ipv4.of_int (0x0a640000 lor s))
+          ~dst:(Ipv4.of_int (0x0a650000 lor d))
+          (Packet.Udp { src_port = sp; dst_port = dp; payload = Payload.raw 10 })
+      in
+      let out = Conntrack.snat ct pkt ~to_ip:nat_ip in
+      (* Build the reply to the translated packet. *)
+      let out_sp, out_dp = Option.get (Packet.ports out) in
+      let reply =
+        Packet.make ~src:out.Packet.dst ~dst:out.Packet.src
+          (Packet.Udp { src_port = out_dp; dst_port = out_sp; payload = Payload.raw 10 })
+      in
+      let back, translated = Conntrack.translate ct reply in
+      let back_sp, back_dp = Option.get (Packet.ports back) in
+      translated
+      && Ipv4.equal back.Packet.dst pkt.Packet.src
+      && back_dp = sp && back_sp = dp)
+
+let test_conntrack_snat_stable () =
+  let ct = Conntrack.create () in
+  let nat_ip = Ipv4.of_string "10.0.0.1" in
+  let p = udp_pkt () in
+  let a = Conntrack.snat ct p ~to_ip:nat_ip in
+  let b = Conntrack.snat ct p ~to_ip:nat_ip in
+  Alcotest.(check bool) "same binding for same flow" true
+    (Packet.ports a = Packet.ports b);
+  Alcotest.(check int) "two entries (fwd + reply)" 2 (Conntrack.entry_count ct)
+
+let test_conntrack_dnat () =
+  let ct = Conntrack.create () in
+  let p = udp_pkt ~dst:"10.0.0.2" ~dport:8080 () in
+  let fwd = Conntrack.dnat ct p ~to_ip:(Ipv4.of_string "172.17.0.5") ~to_port:80 in
+  Alcotest.(check string) "redirected" "172.17.0.5" (Ipv4.to_string fwd.Packet.dst);
+  Alcotest.(check (option (pair int int))) "port" (Some (1111, 80)) (Packet.ports fwd);
+  (* Reply from the container must be re-sourced as the published addr. *)
+  let reply =
+    Packet.make ~src:(Ipv4.of_string "172.17.0.5") ~dst:p.Packet.src
+      (Packet.Udp { src_port = 80; dst_port = 1111; payload = Payload.raw 10 })
+  in
+  let back, translated = Conntrack.translate ct reply in
+  Alcotest.(check bool) "reply translated" true translated;
+  Alcotest.(check string) "source restored to published address" "10.0.0.2"
+    (Ipv4.to_string back.Packet.src)
+
+(* ------------------------------------------------------------------ *)
+(* Devices: bridge, veth, tap *)
+
+let free_hop () = Hop.free (Engine.create ())
+
+let test_bridge_learning_and_flood () =
+  let e = Engine.create () in
+  let hop = Hop.free e in
+  let br = Bridge.create e ~name:"br0" ~hop ~self_mac:(Mac.of_int 0xff) () in
+  let mk i =
+    let d = Dev.create ~name:(Printf.sprintf "p%d" i) ~mac:(Mac.of_int i) () in
+    let received = ref [] in
+    Dev.set_tx d (fun f -> received := f :: !received);
+    (d, received)
+  in
+  let d1, r1 = mk 1 and d2, r2 = mk 2 and d3, r3 = mk 3 in
+  Bridge.attach br d1;
+  Bridge.attach br d2;
+  Bridge.attach br d3;
+  let frame ~src ~dst =
+    Frame.make ~src:(Mac.of_int src) ~dst:(Mac.of_int dst)
+      (Frame.Ipv4_body (udp_pkt ()))
+  in
+  (* Unknown destination: flood to all but ingress. *)
+  Dev.deliver d1 (frame ~src:1 ~dst:2);
+  Engine.run e;
+  Alcotest.(check int) "flooded to p2" 1 (List.length !r2);
+  Alcotest.(check int) "flooded to p3" 1 (List.length !r3);
+  Alcotest.(check int) "not back out ingress" 0 (List.length !r1);
+  (* Now mac 1 is learned: reply unicasts. *)
+  Dev.deliver d2 (frame ~src:2 ~dst:1);
+  Engine.run e;
+  Alcotest.(check int) "unicast to learned port" 1 (List.length !r1);
+  Alcotest.(check int) "no flood to p3" 1 (List.length !r3);
+  Alcotest.(check bool) "fdb has both macs" true
+    (List.length (Bridge.fdb br) >= 2);
+  Bridge.detach br d1;
+  Alcotest.(check int) "ports after detach" 2 (List.length (Bridge.ports br));
+  Alcotest.(check bool) "fdb entry dropped with port" true
+    (not (List.exists (fun (m, _) -> Mac.equal m (Mac.of_int 1)) (Bridge.fdb br)))
+
+let test_bridge_self_delivery () =
+  let e = Engine.create () in
+  let br = Bridge.create e ~name:"br0" ~hop:(Hop.free e) ~self_mac:(Mac.of_int 0xbb) () in
+  let self = Bridge.self_dev br in
+  let up = ref 0 in
+  Dev.set_rx self (fun _ -> incr up);
+  let port = Dev.create ~name:"p" ~mac:(Mac.of_int 5) () in
+  Bridge.attach br port;
+  Dev.deliver port
+    (Frame.make ~src:(Mac.of_int 5) ~dst:(Mac.of_int 0xbb)
+       (Frame.Ipv4_body (udp_pkt ())));
+  Engine.run e;
+  Alcotest.(check int) "frame to self mac goes up the stack" 1 !up
+
+let test_veth_pair () =
+  let e = Engine.create () in
+  let hop = Hop.make (Nest_sim.Exec.create e ~name:"x") ~fixed_ns:250 in
+  let a, b =
+    Veth.pair ~a_name:"a" ~a_mac:(Mac.of_int 1) ~b_name:"b" ~b_mac:(Mac.of_int 2)
+      ~ab_hop:hop ~ba_hop:hop ()
+  in
+  let got = ref None in
+  Dev.set_rx b (fun f -> got := Some (Engine.now e, Frame.len f));
+  Dev.transmit a (Frame.make ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+                    (Frame.Ipv4_body (udp_pkt ())));
+  Engine.run e;
+  (match !got with
+  | Some (t, _) -> Alcotest.(check int) "crossing paid the hop" 250 t
+  | None -> Alcotest.fail "frame lost");
+  Alcotest.(check int) "tx counted" 1 a.Dev.stats.Dev.tx_packets;
+  Alcotest.(check int) "rx counted" 1 b.Dev.stats.Dev.rx_packets
+
+let test_tap_normal_bidirectional () =
+  let e = Engine.create () in
+  let tap = Tap.create e ~name:"tap0" ~mode:Tap.Normal ~hop:(Hop.free e)
+      ~mac:(Mac.of_int 0x10) () in
+  let q = Tap.add_queue tap ~owner:"vm1" in
+  let to_guest = ref 0 and to_host = ref 0 in
+  Tap.queue_set_backend q (fun _ -> incr to_guest);
+  Dev.set_rx (Tap.host_dev tap) (fun _ -> incr to_host);
+  let f = Frame.make ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+      (Frame.Ipv4_body (udp_pkt ())) in
+  Tap.queue_write q f;
+  Dev.transmit (Tap.host_dev tap) f;
+  Engine.run e;
+  Alcotest.(check int) "guest->host" 1 !to_host;
+  Alcotest.(check int) "host->guest" 1 !to_guest
+
+let test_tap_loopback_reflects_to_all () =
+  let e = Engine.create () in
+  let tap = Tap.create e ~name:"hlo" ~mode:Tap.Loopback ~hop:(Hop.free e)
+      ~mac:(Mac.of_int 0x20) () in
+  let q1 = Tap.add_queue tap ~owner:"vm1" in
+  let q2 = Tap.add_queue tap ~owner:"vm2" in
+  let q3 = Tap.add_queue tap ~owner:"vm3" in
+  let hits = Array.make 3 0 in
+  List.iteri
+    (fun i q -> Tap.queue_set_backend q (fun _ -> hits.(i) <- hits.(i) + 1))
+    [ q1; q2; q3 ];
+  Tap.queue_write q2
+    (Frame.make ~src:(Mac.of_int 9) ~dst:Mac.broadcast
+       (Frame.Ipv4_body (udp_pkt ())));
+  Engine.run e;
+  Alcotest.(check (array int)) "every queue including the writer's"
+    [| 1; 1; 1 |] hits;
+  Alcotest.(check int) "reflection counter" 3 (Tap.reflected tap);
+  Alcotest.check_raises "no host side on loopback taps"
+    (Failure "Tap.host_dev: loopback taps have no host side") (fun () ->
+      ignore (Tap.host_dev tap))
+
+let test_dev_down_drops () =
+  let d = dummy_dev "down0" in
+  d.Dev.up <- false;
+  Dev.transmit d (Frame.make ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+                    (Frame.Ipv4_body (udp_pkt ())));
+  Alcotest.(check int) "dropped" 1 d.Dev.stats.Dev.drops;
+  ignore (free_hop ())
+
+let () =
+  Alcotest.run "net"
+    [ ( "addresses",
+        [ qtest test_mac_roundtrip;
+          Alcotest.test_case "mac basics" `Quick test_mac_basics;
+          Alcotest.test_case "mac alloc" `Quick test_mac_alloc_unique;
+          qtest test_ipv4_roundtrip;
+          Alcotest.test_case "cidr" `Quick test_cidr ] );
+      ( "packets",
+        [ Alcotest.test_case "lengths" `Quick test_packet_len;
+          Alcotest.test_case "rewrites" `Quick test_packet_rewrites;
+          Alcotest.test_case "ttl" `Quick test_ttl;
+          Alcotest.test_case "frame minimum" `Quick test_frame_len_minimum;
+          Alcotest.test_case "trace sharing" `Quick
+            test_trace_shared_across_reframe ] );
+      ( "ipam",
+        [ qtest test_ipam_unique;
+          Alcotest.test_case "exhaustion/free" `Quick test_ipam_exhaustion_and_free;
+          Alcotest.test_case "reserved" `Quick test_ipam_reserved ] );
+      ( "routing",
+        [ Alcotest.test_case "lpm" `Quick test_route_lpm;
+          Alcotest.test_case "recency ties" `Quick test_route_recency_ties ] );
+      ( "netfilter",
+        [ Alcotest.test_case "order+mangle" `Quick test_netfilter_order_and_mangle;
+          Alcotest.test_case "drop+remove" `Quick test_netfilter_drop_and_remove;
+          qtest test_conntrack_snat_reverse;
+          Alcotest.test_case "snat stable" `Quick test_conntrack_snat_stable;
+          Alcotest.test_case "dnat" `Quick test_conntrack_dnat ] );
+      ( "devices",
+        [ Alcotest.test_case "bridge learning" `Quick test_bridge_learning_and_flood;
+          Alcotest.test_case "bridge self" `Quick test_bridge_self_delivery;
+          Alcotest.test_case "veth" `Quick test_veth_pair;
+          Alcotest.test_case "tap normal" `Quick test_tap_normal_bidirectional;
+          Alcotest.test_case "tap loopback" `Quick test_tap_loopback_reflects_to_all;
+          Alcotest.test_case "down drops" `Quick test_dev_down_drops ] ) ]

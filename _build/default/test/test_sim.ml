@@ -1,0 +1,395 @@
+(* Unit + property tests for the simulation engine library. *)
+
+module Engine = Nest_sim.Engine
+module Heap = Nest_sim.Heap
+module Prng = Nest_sim.Prng
+module Dist = Nest_sim.Dist
+module Stats = Nest_sim.Stats
+module Exec = Nest_sim.Exec
+module Cpu_set = Nest_sim.Cpu_set
+module Cpu_account = Nest_sim.Cpu_account
+module Time = Nest_sim.Time
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order"
+    ~count:200
+    QCheck.(list small_int)
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~prio:p p) prios;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare prios)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~prio:7 v) [ "a"; "b"; "c" ];
+  let popped =
+    List.init 3 (fun _ ->
+        match Heap.pop h with Some (_, v) -> v | None -> assert false)
+  in
+  Alcotest.(check (list string)) "insertion order among equal priorities"
+    [ "a"; "b"; "c" ] popped
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~prio:5 5;
+  Heap.push h ~prio:1 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek_prio h);
+  ignore (Heap.pop h);
+  Heap.push h ~prio:3 3;
+  Alcotest.(check (option int)) "peek after mix" (Some 3) (Heap.peek_prio h);
+  Alcotest.(check int) "size" 2 (Heap.size h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:30 (fun () -> log := 30 :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log);
+  Engine.schedule e ~delay:20 (fun () -> log := 20 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "timestamp order" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now e)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  List.iter
+    (fun d -> Engine.schedule e ~delay:d (fun () -> incr fired))
+    [ 5; 15; 25 ];
+  Engine.run ~until:16 e;
+  Alcotest.(check int) "two events within horizon" 2 !fired;
+  Alcotest.(check int) "clock parked at horizon" 16 (Engine.now e);
+  Alcotest.(check int) "one still pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 3 !fired
+
+let test_engine_cascade () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec step n () =
+    incr count;
+    if n > 0 then Engine.schedule e ~delay:1 (step (n - 1))
+  in
+  Engine.schedule e ~delay:0 (step 99);
+  Engine.run e;
+  Alcotest.(check int) "cascaded events" 100 !count;
+  Alcotest.(check int) "events processed" 100 (Engine.events_processed e)
+
+let test_engine_past_schedule () =
+  let e = Engine.create () in
+  let at = ref (-1) in
+  Engine.schedule e ~delay:10 (fun () ->
+      Engine.schedule_at e ~at:3 (fun () -> at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "past dates fire now, never rewind the clock" 10 !at
+
+(* ------------------------------------------------------------------ *)
+(* Prng / Dist *)
+
+let test_prng_determinism () =
+  let a = Prng.create 99L and b = Prng.create 99L in
+  let xs = List.init 50 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 50 (fun _ -> Prng.next_int64 b) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7L in
+  let child = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.next_int64 child) in
+  let ys = List.init 20 (fun _ -> Prng.next_int64 a) in
+  Alcotest.(check bool) "split stream differs from parent" true (xs <> ys)
+
+let test_prng_float_range =
+  QCheck.Test.make ~name:"Prng.float in [0,1)" ~count:500
+    QCheck.(int64)
+    (fun seed ->
+      let r = Prng.create seed in
+      let x = Prng.float r in
+      x >= 0.0 && x < 1.0)
+
+let test_prng_int_range =
+  QCheck.Test.make ~name:"Prng.int in [0,bound)" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Prng.create seed in
+      let v = Prng.int r bound in
+      v >= 0 && v < bound)
+
+let test_prng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair int64 (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Prng.shuffle (Prng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let mean_of f n rng =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f rng
+  done;
+  !acc /. float_of_int n
+
+let test_dist_exponential_mean () =
+  let rng = Prng.create 1L in
+  let m = mean_of (fun r -> Dist.exponential r ~mean:50.0) 20_000 rng in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean ~50 (got %.2f)" m)
+    true
+    (abs_float (m -. 50.0) < 2.5)
+
+let test_dist_lognormal_mean_cv () =
+  let rng = Prng.create 2L in
+  let samples =
+    List.init 30_000 (fun _ -> Dist.lognormal_mean_cv rng ~mean:100.0 ~cv:0.5)
+  in
+  let s = Stats.create () in
+  List.iter (Stats.add s) samples;
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~100 (got %.2f)" (Stats.mean s))
+    true
+    (abs_float (Stats.mean s -. 100.0) < 3.0);
+  let cv = Stats.stddev s /. Stats.mean s in
+  Alcotest.(check bool)
+    (Printf.sprintf "cv ~0.5 (got %.3f)" cv)
+    true
+    (abs_float (cv -. 0.5) < 0.06)
+
+let test_dist_bounded_pareto =
+  QCheck.Test.make ~name:"bounded pareto stays within bounds" ~count:500
+    QCheck.(int64)
+    (fun seed ->
+      let r = Prng.create seed in
+      let x = Dist.bounded_pareto r ~shape:1.2 ~lo:2.0 ~hi:64.0 in
+      x >= 2.0 && x <= 64.0 +. 1e-9)
+
+let test_dist_poisson_mean () =
+  let rng = Prng.create 3L in
+  let m =
+    mean_of (fun r -> float_of_int (Dist.poisson r ~mean:8.0)) 20_000 rng
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson mean ~8 (got %.2f)" m)
+    true
+    (abs_float (m -. 8.0) < 0.3)
+
+let test_dist_zipf_range =
+  QCheck.Test.make ~name:"zipf rank within [1,n]" ~count:300
+    QCheck.(pair int64 (int_range 1 500))
+    (fun (seed, n) ->
+      let r = Prng.create seed in
+      let v = Dist.zipf r ~n ~s:1.2 in
+      v >= 1 && v <= n)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_against_oracle =
+  QCheck.Test.make ~name:"stats mean/stddev match direct computation"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 60) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. (n -. 1.0)
+      in
+      abs_float (Stats.mean s -. mean) < 1e-6
+      && abs_float (Stats.variance s -. var) < 1e-3)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.; 20.; 30.; 40.; 50. ];
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 30.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 20.0
+    (Stats.percentile s 25.0);
+  Alcotest.(check (float 1e-9)) "median" 30.0 (Stats.median s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.; 2. ];
+  List.iter (Stats.add b) [ 3.; 4. ];
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 4 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean m)
+
+let test_stats_cdf_monotone =
+  QCheck.Test.make ~name:"cdf fractions are nondecreasing in [0,1]"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 80) (float_range 0. 100.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let cdf = Stats.cdf ~points:20 s in
+      let fracs = List.map snd cdf in
+      List.for_all (fun f -> f >= 0.0 && f <= 1.0) fracs
+      && List.sort compare fracs = fracs)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 9.5; 11.0; -1.0 ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "total counts everything (clamped)" 6
+    (Stats.Histogram.total h);
+  Alcotest.(check int) "first bin has 0.5, 1.5 and clamped -1.0" 3 counts.(0);
+  Alcotest.(check int) "last bin has 9.5 and clamped 11.0" 2 counts.(4);
+  let lo, hi = Stats.Histogram.bin_bounds h 1 in
+  Alcotest.(check (float 1e-9)) "bin 1 lo" 2.0 lo;
+  Alcotest.(check (float 1e-9)) "bin 1 hi" 4.0 hi
+
+(* ------------------------------------------------------------------ *)
+(* Exec / Cpu_set / Cpu_account *)
+
+let test_exec_serializes () =
+  let e = Engine.create () in
+  let x = Exec.create e ~name:"w" in
+  let finished = ref [] in
+  Exec.submit x ~cost:100 (fun () -> finished := (1, Engine.now e) :: !finished);
+  Exec.submit x ~cost:50 (fun () -> finished := (2, Engine.now e) :: !finished);
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "FIFO with accumulated service"
+    [ (1, 100); (2, 150) ]
+    (List.rev !finished);
+  Alcotest.(check int) "busy_ns" 150 (Exec.busy_ns x)
+
+let test_exec_width_parallel () =
+  let e = Engine.create () in
+  let x = Exec.create ~width:2 e ~name:"wide" in
+  let done_at = ref [] in
+  for _ = 1 to 2 do
+    Exec.submit x ~cost:100 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "two slots run in parallel" [ 100; 100 ]
+    !done_at
+
+let test_exec_accounting () =
+  let e = Engine.create () in
+  let acct = Cpu_account.create () in
+  let x =
+    Exec.create ~account:(acct, "vm1", Cpu_account.Soft)
+      ~also:[ (acct, "host", Cpu_account.Guest) ]
+      e ~name:"acc"
+  in
+  Exec.submit x ~cost:500 (fun () -> ());
+  Exec.submit ~charge_as:Cpu_account.Sys x ~cost:300 (fun () -> ());
+  Engine.run e;
+  Alcotest.(check int) "primary soft" 500 (Cpu_account.get acct ~entity:"vm1" Cpu_account.Soft);
+  Alcotest.(check int) "override goes to sys" 300
+    (Cpu_account.get acct ~entity:"vm1" Cpu_account.Sys);
+  Alcotest.(check int) "secondary guest gets all" 800
+    (Cpu_account.get acct ~entity:"host" Cpu_account.Guest);
+  Alcotest.(check int) "entity total" 800
+    (Cpu_account.entity_total acct ~entity:"vm1")
+
+let test_cpuset_caps_parallelism () =
+  let e = Engine.create () in
+  let set = Cpu_set.create ~cores:2 ~name:"vm" in
+  (* Three independent width-1 contexts on a 2-core machine. *)
+  let xs = List.init 3 (fun i -> Exec.create ~cpus:set e ~name:(string_of_int i)) in
+  let done_at = ref [] in
+  List.iter
+    (fun x -> Exec.submit x ~cost:100 (fun () -> done_at := Engine.now e :: !done_at))
+    xs;
+  Engine.run e;
+  Alcotest.(check (list int)) "third context waits for a core"
+    [ 100; 100; 200 ]
+    (List.sort compare !done_at)
+
+let test_cpuset_affinity_no_false_contention () =
+  let e = Engine.create () in
+  let set = Cpu_set.create ~cores:2 ~name:"m" in
+  let busy = Exec.create ~cpus:set e ~name:"busy" in
+  (* Saturate one context with queued work... *)
+  for _ = 1 to 10 do
+    Exec.submit busy ~cost:100 (fun () -> ())
+  done;
+  (* ...the other context must still run immediately on the second core. *)
+  let other = Exec.create ~cpus:set e ~name:"other" in
+  let at = ref (-1) in
+  Exec.submit other ~cost:50 (fun () -> at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "no false contention from queued work" 50 !at
+
+let test_cpu_account_reset_snapshot () =
+  let acct = Cpu_account.create () in
+  Cpu_account.charge acct ~entity:"a" Cpu_account.Usr 100;
+  Cpu_account.charge acct ~entity:"b" Cpu_account.Sys 200;
+  Alcotest.(check (list string)) "entities sorted" [ "a"; "b" ]
+    (Cpu_account.entities acct);
+  let snap = Cpu_account.snapshot acct in
+  Alcotest.(check int) "snapshot rows" 2 (List.length snap);
+  Alcotest.(check (float 1e-9)) "cores" 0.5
+    (Cpu_account.cores acct ~entity:"b" Cpu_account.Sys ~window:400);
+  Cpu_account.reset acct;
+  Alcotest.(check int) "reset zeroes" 0
+    (Cpu_account.get acct ~entity:"a" Cpu_account.Usr)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  Alcotest.(check string) "ns" "42ns" (s 42);
+  Alcotest.(check string) "us" "1.50us" (s 1500);
+  Alcotest.(check string) "ms" "2.50ms" (s 2_500_000);
+  Alcotest.(check string) "s" "1.500s" (s 1_500_000_000);
+  Alcotest.(check int) "of_sec_f" (Time.sec 2) (Time.of_sec_f 2.0)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "heap",
+        [ qtest test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved ] );
+      ( "engine",
+        [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "horizon" `Quick test_engine_horizon;
+          Alcotest.test_case "cascade" `Quick test_engine_cascade;
+          Alcotest.test_case "past schedule" `Quick test_engine_past_schedule ]
+      );
+      ( "prng",
+        [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          qtest test_prng_float_range;
+          qtest test_prng_int_range;
+          qtest test_prng_shuffle_permutation ] );
+      ( "dist",
+        [ Alcotest.test_case "exponential mean" `Quick test_dist_exponential_mean;
+          Alcotest.test_case "lognormal mean/cv" `Quick test_dist_lognormal_mean_cv;
+          qtest test_dist_bounded_pareto;
+          Alcotest.test_case "poisson mean" `Quick test_dist_poisson_mean;
+          qtest test_dist_zipf_range ] );
+      ( "stats",
+        [ qtest test_stats_against_oracle;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          qtest test_stats_cdf_monotone;
+          Alcotest.test_case "histogram" `Quick test_histogram ] );
+      ( "exec",
+        [ Alcotest.test_case "serializes" `Quick test_exec_serializes;
+          Alcotest.test_case "width parallel" `Quick test_exec_width_parallel;
+          Alcotest.test_case "accounting" `Quick test_exec_accounting;
+          Alcotest.test_case "cpuset caps" `Quick test_cpuset_caps_parallelism;
+          Alcotest.test_case "cpuset affinity" `Quick
+            test_cpuset_affinity_no_false_contention;
+          Alcotest.test_case "account snapshot" `Quick
+            test_cpu_account_reset_snapshot;
+          Alcotest.test_case "time pp" `Quick test_time_pp ] ) ]

@@ -1,0 +1,250 @@
+(* Tests for the per-namespace IP stack: ARP, local delivery, forwarding,
+   sockets, and TCP edge behaviour. *)
+
+open Nest_net
+module Engine = Nest_sim.Engine
+module Exec = Nest_sim.Exec
+module Time = Nest_sim.Time
+
+let cheap_costs e =
+  let sys_exec = Exec.create e ~name:"sys" in
+  let soft_exec = Exec.create e ~name:"soft" in
+  { Stack.tx = Hop.make sys_exec ~fixed_ns:100;
+    rx = Hop.make soft_exec ~fixed_ns:100;
+    forward = Hop.make soft_exec ~fixed_ns:50;
+    nat = Hop.make soft_exec ~fixed_ns:50;
+    nat_per_rule_ns = 10;
+    local = Hop.make sys_exec ~fixed_ns:100;
+    syscall = Hop.make sys_exec ~fixed_ns:50;
+    wakeup_delay_ns = 0 }
+
+let ip = Ipv4.of_string
+let cidr = Ipv4.cidr_of_string
+
+(* Two namespaces joined by a veth pair on 192.168.1.0/24. *)
+let two_ns () =
+  let e = Engine.create () in
+  let a = Stack.create e ~name:"a" ~costs:(cheap_costs e) () in
+  let b = Stack.create e ~name:"b" ~costs:(cheap_costs e) () in
+  let hop = Hop.free e in
+  let da, db =
+    Veth.pair ~a_name:"a0" ~a_mac:(Mac.of_int 0xa) ~b_name:"b0"
+      ~b_mac:(Mac.of_int 0xb) ~ab_hop:hop ~ba_hop:hop ()
+  in
+  Stack.attach a da;
+  Stack.add_addr a da (ip "192.168.1.1") (cidr "192.168.1.0/24");
+  Stack.attach b db;
+  Stack.add_addr b db (ip "192.168.1.2") (cidr "192.168.1.0/24");
+  (e, a, b, da, db)
+
+let test_arp_resolution () =
+  let e, a, b, _, _ = two_ns () in
+  let got = ref false in
+  let _s = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> got := true) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  Stack.Udp.sendto c ~dst:(ip "192.168.1.2") ~dst_port:53 (Payload.raw 32);
+  Engine.run e;
+  Alcotest.(check bool) "delivered after ARP" true !got;
+  (* Both sides learned each other. *)
+  Alcotest.(check bool) "a cached b" true
+    (List.mem_assoc (ip "192.168.1.2") (Stack.arp_cache a));
+  Alcotest.(check bool) "b cached a (gratuitous from request)" true
+    (List.mem_assoc (ip "192.168.1.1") (Stack.arp_cache b));
+  (* Second datagram goes through without a new ARP exchange: count
+     deliveries. *)
+  Stack.Udp.sendto c ~dst:(ip "192.168.1.2") ~dst_port:53 (Payload.raw 32);
+  Engine.run e;
+  Alcotest.(check int) "second delivery" 2 (Stack.counters b).Stack.delivered
+
+let test_local_delivery_over_lo () =
+  let e = Engine.create () in
+  let a = Stack.create e ~name:"solo" ~costs:(cheap_costs e) () in
+  let got = ref 0 in
+  let _s = Stack.Udp.bind a ~port:9000 (fun _ ~src:_ _ -> incr got) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  Stack.Udp.sendto c ~dst:Ipv4.localhost ~dst_port:9000 (Payload.raw 16);
+  Stack.Udp.sendto c ~dst:(ip "127.0.0.42") ~dst_port:9000 (Payload.raw 16);
+  Engine.run e;
+  Alcotest.(check int) "any 127/8 address delivers locally" 2 !got
+
+let test_no_socket_counted () =
+  let e, a, b, _, _ = two_ns () in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  Stack.Udp.sendto c ~dst:(ip "192.168.1.2") ~dst_port:9999 (Payload.raw 16);
+  Engine.run e;
+  Alcotest.(check int) "dropped_no_socket" 1
+    (Stack.counters b).Stack.dropped_no_socket
+
+let test_forwarding_disabled_drops () =
+  (* b is not a router: a packet not addressed to it must die there. *)
+  let e, a, b, _, _ = two_ns () in
+  Stack.set_ip_forward b false;
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  (* Static route pushes an off-subnet destination via the veth. *)
+  Route.add (Stack.routes a) ~dst:(cidr "10.50.0.0/16")
+    ~dev:(Option.get (Stack.find_dev a "a0"))
+    ~gateway:(ip "192.168.1.2") ();
+  Stack.Udp.sendto c ~dst:(ip "10.50.0.1") ~dst_port:1 (Payload.raw 16);
+  Engine.run e;
+  Alcotest.(check int) "not forwarded" 0 (Stack.counters b).Stack.forwarded_pkts;
+  Alcotest.(check int) "counted as unroutable" 1
+    (Stack.counters b).Stack.dropped_no_route
+
+let test_firewall_drop_counted () =
+  let e, a, b, _, _ = two_ns () in
+  Nat.drop_from (Stack.nf b) ~name:"deny-a" ~hook:Netfilter.Input
+    ~src_subnet:(cidr "192.168.1.0/24");
+  let got = ref false in
+  let _s = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> got := true) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  Stack.Udp.sendto c ~dst:(ip "192.168.1.2") ~dst_port:53 (Payload.raw 16);
+  Engine.run e;
+  Alcotest.(check bool) "filtered" false !got;
+  Alcotest.(check int) "counter" 1 (Stack.counters b).Stack.dropped_filtered
+
+let test_udp_bind_conflicts () =
+  let e = Engine.create () in
+  let a = Stack.create e ~name:"x" ~costs:(cheap_costs e) () in
+  let _s = Stack.Udp.bind a ~port:5000 (fun _ ~src:_ _ -> ()) in
+  Alcotest.check_raises "port busy"
+    (Failure "Stack.Udp.bind: port 5000 busy in x") (fun () ->
+      ignore (Stack.Udp.bind a ~port:5000 (fun _ ~src:_ _ -> ())));
+  let eph1 = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  let eph2 = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  Alcotest.(check bool) "distinct ephemerals" true
+    (Stack.Udp.port eph1 <> Stack.Udp.port eph2);
+  Stack.Udp.close eph1;
+  Alcotest.(check bool) "ephemeral range" true (Stack.Udp.port eph2 >= 49152)
+
+let test_tcp_rst_on_closed_port () =
+  let e, a, b, _, _ = two_ns () in
+  let closed = ref false in
+  let c =
+    Stack.Tcp.connect a ~dst:(ip "192.168.1.2") ~port:7777
+      ~on_established:(fun _ -> ())
+      ~on_close:(fun () -> closed := true)
+      ()
+  in
+  Engine.run e;
+  Alcotest.(check bool) "connection reset" true !closed;
+  Alcotest.(check bool) "closed state" true (Stack.Tcp.is_closed c);
+  Alcotest.(check int) "b sent a RST" 1 (Stack.counters b).Stack.rst_sent
+
+let test_tcp_backpressure_and_writable () =
+  let e, a, b, _, _ = two_ns () in
+  let received = ref 0 in
+  Stack.Tcp.listen b ~port:80 ~on_accept:(fun conn ->
+      Stack.Tcp.set_on_receive conn (fun ~bytes ~msgs:_ ->
+          received := !received + bytes));
+  let writable_fired = ref false in
+  let sent = ref 0 in
+  let _c =
+    Stack.Tcp.connect a ~dst:(ip "192.168.1.2") ~port:80
+      ~on_established:(fun conn ->
+        let limit = Stack.Tcp.sndbuf_limit conn in
+        (* Fill the buffer past its limit: the last send must fail. *)
+        Alcotest.(check bool) "first send fits" true
+          (Stack.Tcp.send conn ~size:limit ());
+        sent := limit;
+        Alcotest.(check bool) "overflow send rejected" false
+          (Stack.Tcp.send conn ~size:1 ());
+        Stack.Tcp.set_on_writable conn (fun () ->
+            writable_fired := true;
+            Alcotest.(check bool) "accepted after drain" true
+              (Stack.Tcp.send conn ~size:1000 ());
+            sent := !sent + 1000))
+      ()
+  in
+  Engine.run e;
+  Alcotest.(check bool) "writable callback fired" true !writable_fired;
+  Alcotest.(check int) "all bytes delivered" !sent !received
+
+let test_tcp_retransmit_recovers_from_outage () =
+  let e, a, b, da, _ = two_ns () in
+  let received = ref 0 in
+  Stack.Tcp.listen b ~port:80 ~on_accept:(fun conn ->
+      Stack.Tcp.set_on_receive conn (fun ~bytes ~msgs:_ ->
+          received := !received + bytes));
+  let c =
+    Stack.Tcp.connect a ~dst:(ip "192.168.1.2") ~port:80
+      ~on_established:(fun _ -> ())
+      ()
+  in
+  Engine.run e;
+  Alcotest.(check bool) "established" true (Stack.Tcp.is_established c);
+  (* Yank the client device, send during the outage (all segments are
+     lost at the device), then restore it: the RTO must recover. *)
+  da.Dev.up <- false;
+  ignore (Stack.Tcp.send c ~size:40_000 ());
+  Engine.run ~until:(Engine.now e + Time.ms 120) e;
+  Alcotest.(check int) "nothing delivered during outage" 0 !received;
+  da.Dev.up <- true;
+  Engine.run ~until:(Engine.now e + Time.sec 60) e;
+  Alcotest.(check int) "transfer completes despite outage" 40_000 !received;
+  Alcotest.(check bool) "retransmissions happened" true
+    (Stack.Tcp.retransmits c > 0)
+
+let test_tcp_close_sequence () =
+  let e, a, b, _, _ = two_ns () in
+  let server_conn = ref None in
+  let server_closed = ref false in
+  Stack.Tcp.listen b ~port:80 ~on_accept:(fun conn ->
+      server_conn := Some conn;
+      Stack.Tcp.set_on_close conn (fun () -> server_closed := true));
+  let c =
+    Stack.Tcp.connect a ~dst:(ip "192.168.1.2") ~port:80
+      ~on_established:(fun _ -> ())
+      ()
+  in
+  Engine.run e;
+  Alcotest.(check bool) "established" true (Stack.Tcp.is_established c);
+  Stack.Tcp.close c;
+  Engine.run e;
+  Alcotest.(check bool) "active side closed" true (Stack.Tcp.is_closed c);
+  Alcotest.(check bool) "passive side closed" true
+    (match !server_conn with Some sc -> Stack.Tcp.is_closed sc | None -> false);
+  Alcotest.(check bool) "close callback" true !server_closed
+
+let test_tcp_endpoints () =
+  let e, a, _, _, _ = two_ns () in
+  let c =
+    Stack.Tcp.connect a ~dst:(ip "192.168.1.2") ~port:80
+      ~on_established:(fun _ -> ())
+      ()
+  in
+  ignore e;
+  let lip, lport = Stack.Tcp.local_endpoint c in
+  let rip, rport = Stack.Tcp.remote_endpoint c in
+  Alcotest.(check string) "local ip from route" "192.168.1.1" (Ipv4.to_string lip);
+  Alcotest.(check bool) "ephemeral local port" true (lport >= 49152);
+  Alcotest.(check string) "remote" "192.168.1.2" (Ipv4.to_string rip);
+  Alcotest.(check int) "remote port" 80 rport
+
+let test_ping_rtt_accounts_hops () =
+  let e, a, _, _, _ = two_ns () in
+  let rtt = ref 0 in
+  Stack.ping a ~dst:(ip "192.168.1.2") ~on_reply:(fun ~rtt_ns -> rtt := rtt_ns);
+  Engine.run e;
+  Alcotest.(check bool) "reply came" true (!rtt > 0);
+  (* Costed hops only: tx(100) rx(100) tx-reply(100) rx(100) + icmp path
+     costs; must be well under a millisecond with the cheap model. *)
+  Alcotest.(check bool) "cheap-model rtt < 5us" true (!rtt < 5_000)
+
+let () =
+  Alcotest.run "stack"
+    [ ( "ip",
+        [ Alcotest.test_case "arp" `Quick test_arp_resolution;
+          Alcotest.test_case "loopback" `Quick test_local_delivery_over_lo;
+          Alcotest.test_case "no socket" `Quick test_no_socket_counted;
+          Alcotest.test_case "forwarding off" `Quick test_forwarding_disabled_drops;
+          Alcotest.test_case "firewall" `Quick test_firewall_drop_counted;
+          Alcotest.test_case "ping" `Quick test_ping_rtt_accounts_hops ] );
+      ( "udp",
+        [ Alcotest.test_case "bind conflicts" `Quick test_udp_bind_conflicts ] );
+      ( "tcp",
+        [ Alcotest.test_case "rst on closed port" `Quick test_tcp_rst_on_closed_port;
+          Alcotest.test_case "backpressure" `Quick test_tcp_backpressure_and_writable;
+          Alcotest.test_case "retransmit outage" `Quick
+            test_tcp_retransmit_recovers_from_outage;
+          Alcotest.test_case "close sequence" `Quick test_tcp_close_sequence;
+          Alcotest.test_case "endpoints" `Quick test_tcp_endpoints ] ) ]
