@@ -169,6 +169,38 @@ let run_micro () =
       Printf.printf "%-42s %16s\n" name human)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the same netperf kernel with tracing+metrics
+   off vs on.  The disabled figure is the one that matters (the
+   instrumentation rides the per-event/per-packet hot paths and must be
+   ~free when nothing is collecting); the enabled figure shows what a
+   [--trace --metrics] run costs. *)
+
+let time_runs ~reps f =
+  (* One untimed warmup run absorbs allocator/startup noise. *)
+  f ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let run_overhead () =
+  print_newline ();
+  print_endline "== Observability overhead (netperf kernel, off vs on) ==";
+  let reps = 3 in
+  let kernel = kernel_netperf_single ~mode:`Nat in
+  Exp_util.Obs.configure ~trace:false ~metrics:false ();
+  let off = time_runs ~reps kernel in
+  Exp_util.Obs.configure ~trace:true ~metrics:true ();
+  let on = time_runs ~reps kernel in
+  Exp_util.Obs.configure ~trace:false ~metrics:false ();
+  Exp_util.Obs.discard ();
+  Printf.printf "%-42s %10.2f ms\n" "tracing+metrics disabled" (off *. 1e3);
+  Printf.printf "%-42s %10.2f ms\n" "tracing+metrics enabled" (on *. 1e3);
+  Printf.printf "%-42s %+9.1f %%\n" "enabled overhead"
+    (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
@@ -188,5 +220,6 @@ let () =
         ids
   end;
   run_micro ();
+  run_overhead ();
   print_newline ();
   print_endline "bench: done."

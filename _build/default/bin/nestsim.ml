@@ -15,8 +15,15 @@ let list_cmd () =
         e.Nest_experiments.Registry.description)
     (Nest_experiments.Registry.all @ Nest_experiments.Registry.ablations)
 
-let run_cmd ids quick =
-  match ids with
+let run_cmd ids quick trace metrics obs_json trace_capacity =
+  if trace_capacity <= 0 then begin
+    Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
+      trace_capacity;
+    exit 1
+  end;
+  Nest_experiments.Exp_util.Obs.configure ~trace ~metrics ~json:obs_json
+    ~trace_capacity ();
+  (match ids with
   | [ "all" ] | [] -> Nest_experiments.Registry.run_all ~quick
   | [ "ablations" ] ->
     List.iter
@@ -30,7 +37,8 @@ let run_cmd ids quick =
         | None ->
           Printf.eprintf "unknown experiment %S; try `nestsim list'\n" id;
           exit 1)
-      ids
+      ids);
+  Nest_experiments.Exp_util.Obs.dump ()
 
 let trace_gen users seed out =
   let trace =
@@ -84,9 +92,34 @@ let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiment ids (fig2..fig15, table1, table2) or 'all'.")
 
+let trace_flag =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Collect per-hop/per-packet event traces and dump them \
+                 after the run.")
+
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Dump a metrics snapshot (counters, gauges, histograms) \
+                 per deployed testbed after the run.")
+
+let obs_json =
+  Arg.(value & flag
+       & info [ "obs-json" ]
+           ~doc:"Emit the --trace/--metrics dump as JSON instead of text.")
+
+let trace_capacity =
+  Arg.(value & opt int 8192
+       & info [ "trace-capacity" ] ~docv:"N"
+           ~doc:"Trace ring capacity in events (oldest are dropped).")
+
 let run_term =
   let doc = "Run experiments (default: all)." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_cmd $ ids $ quick)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_cmd $ ids $ quick $ trace_flag $ metrics_flag $ obs_json
+      $ trace_capacity)
 
 let list_term =
   let doc = "List available experiments." in

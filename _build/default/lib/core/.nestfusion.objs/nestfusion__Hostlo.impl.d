@@ -1,1 +1,1 @@
-lib/core/hostlo.ml: Hashtbl Ipv4 List Nest_net Nest_orch Nest_virt Option Printf Tap
+lib/core/hostlo.ml: Hashtbl Ipv4 Nest_net Nest_orch Nest_virt Option Printf Tap

@@ -60,10 +60,10 @@ let buy_vm t k =
   let name = Printf.sprintf "ap-vm%d" t.vm_serial in
   Nest_sim.Engine.schedule t.tb.Testbed.engine ~delay:t.provision_delay
     (fun () ->
-      let ip = Ipam.alloc t.brf.Brfusion.pod_ipam in
+      let ip = Ipam.alloc (Brfusion.pod_ipam t.brf) in
       let vm =
         Nest_virt.Vmm.create_vm t.tb.Testbed.vmm ~name ~vcpus:t.vm_vcpus
-          ~mem_mb:t.vm_mem_mb ~bridge:t.brf.Brfusion.host_bridge ~ip
+          ~mem_mb:t.vm_mem_mb ~bridge:(Brfusion.host_bridge t.brf) ~ip
       in
       let node = Node.create vm in
       t.fleet <- t.fleet @ [ node ];

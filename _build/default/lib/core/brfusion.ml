@@ -1,26 +1,20 @@
 open Nest_net
 
+(* Deployment state is part of the config record.  It used to live in a
+   module-global [(config * state) list] found by physical equality —
+   never pruned, so assignments and hotplug counts from finished runs
+   stayed reachable forever.  Inlining the state gives it exactly the
+   config's lifetime. *)
 type config = {
   vmm : Nest_virt.Vmm.t;
-  host_bridge : string;
-  pod_ipam : Ipam.t;
-}
-
-type state = {
+  bridge_name : string;
+  ipam : Ipam.t;
   mutable assignments : (Stack.ns * Ipv4.t) list;
   mutable hotplugs : int;
 }
 
-(* One state per config; configs are created once per testbed. *)
-let states : (config * state) list ref = ref []
-
-let state_of config =
-  match List.find_opt (fun (c, _) -> c == config) !states with
-  | Some (_, s) -> s
-  | None ->
-    let s = { assignments = []; hotplugs = 0 } in
-    states := (config, s) :: !states;
-    s
+let host_bridge config = config.bridge_name
+let pod_ipam config = config.ipam
 
 let make_config vmm ~host_bridge =
   match Nest_virt.Vmm.bridge_addr vmm host_bridge with
@@ -37,40 +31,41 @@ let make_config vmm ~host_bridge =
             (Stack.addrs (Nest_virt.Vm.ns vm)))
         (Nest_virt.Vmm.vms vmm)
     in
-    { vmm; host_bridge;
-      pod_ipam = Ipam.create ~reserved:(gw :: vm_addrs) subnet }
+    { vmm; bridge_name = host_bridge;
+      ipam = Ipam.create ~reserved:(gw :: vm_addrs) subnet;
+      assignments = []; hotplugs = 0 }
 
 let plugin config =
   let add ~pod_name ~node ~publish:_ ~k =
-    let s = state_of config in
     let vm = Nest_orch.Node.vm node in
     let gw, subnet =
-      match Nest_virt.Vmm.bridge_addr config.vmm config.host_bridge with
+      match Nest_virt.Vmm.bridge_addr config.vmm config.bridge_name with
       | Some a -> a
       | None -> failwith "Brfusion: bridge disappeared"
     in
     let netns = Nest_virt.Vm.new_netns vm ~name:pod_name () in
-    s.hotplugs <- s.hotplugs + 1;
+    config.hotplugs <- config.hotplugs + 1;
     (* Steps 1-3: ask the VMM for a NIC on the host bridge; it answers
        with the new device's MAC. *)
-    Nest_virt.Vmm.hotplug_nic_mac config.vmm ~vm ~bridge:config.host_bridge
+    Nest_virt.Vmm.hotplug_nic_mac config.vmm ~vm ~bridge:config.bridge_name
       ~id:("brf-" ^ pod_name)
       ~k:(fun mac ->
         (* Step 4: the VM agent discovers the device by MAC, moves it
            into the pod namespace and configures it. *)
-        let ip = Ipam.alloc config.pod_ipam in
+        let ip = Ipam.alloc config.ipam in
         Nest_orch.Kubelet.configure_nic
           (Nest_orch.Kubelet.of_node node)
           ~netns ~mac ~ip ~subnet ~gateway:gw
           ~k:(fun _dev ->
-            s.assignments <- (netns, ip) :: s.assignments;
+            config.assignments <- (netns, ip) :: config.assignments;
             k netns)
           ())
   in
   { Nest_orch.Cni.cni_name = "brfusion"; add }
 
 let pod_ip config ns =
-  let s = state_of config in
-  List.find_map (fun (n, ip) -> if n == ns then Some ip else None) s.assignments
+  List.find_map
+    (fun (n, ip) -> if n == ns then Some ip else None)
+    config.assignments
 
-let hotplug_count config = (state_of config).hotplugs
+let hotplug_count config = config.hotplugs

@@ -18,16 +18,22 @@
 
 open Nest_net
 
-type config = {
-  vmm : Nest_virt.Vmm.t;
-  host_bridge : string;   (** Bridge whose network pods join. *)
-  pod_ipam : Ipam.t;      (** Addresses for pod NICs (host-bridge subnet). *)
-}
+type config
+(** A deployment's BrFusion state: VMM handle, target bridge, pod IPAM,
+    plus the pod address assignments and hotplug count accumulated by
+    {!plugin}.  All of it has the config's lifetime. *)
 
 val make_config :
   Nest_virt.Vmm.t -> host_bridge:string -> config
 (** Builds the IPAM from the bridge's subnet, reserving the gateway and
     already-used VM addresses as callers allocate them through it too. *)
+
+val host_bridge : config -> string
+(** Bridge whose network pods join. *)
+
+val pod_ipam : config -> Ipam.t
+(** Addresses for pod NICs (host-bridge subnet); callers provisioning
+    sibling endpoints (e.g. fresh VMs) allocate through this too. *)
 
 val plugin : config -> Nest_orch.Cni.t
 (** CNI plugin named "brfusion". *)

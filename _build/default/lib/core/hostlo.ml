@@ -1,39 +1,38 @@
 open Nest_net
 
-type config = { vmm : Nest_virt.Vmm.t }
+(* Per-deployment state lives inside the config itself.  An earlier
+   version kept a module-global [(config * state) list] keyed by physical
+   equality; entries were never pruned, so every configured run leaked its
+   TAPs and fraction counts for the life of the process, and a config
+   recreated at the same address could even observe a predecessor's
+   state.  With the tables in the record, dropping the config drops the
+   state. *)
+type config = {
+  vmm : Nest_virt.Vmm.t;
+  taps : (string, Tap.t) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;
+}
 
-type state = { taps : (string, Tap.t) Hashtbl.t; counts : (string, int) Hashtbl.t }
-
-let states : (config * state) list ref = ref []
-
-let state_of config =
-  match List.find_opt (fun (c, _) -> c == config) !states with
-  | Some (_, s) -> s
-  | None ->
-    let s = { taps = Hashtbl.create 8; counts = Hashtbl.create 8 } in
-    states := (config, s) :: !states;
-    s
-
-let make_config vmm = { vmm }
+let make_config vmm =
+  { vmm; taps = Hashtbl.create 8; counts = Hashtbl.create 8 }
 
 let lo_subnet = Ipv4.cidr_of_string "127.0.0.0/8"
 
 let plugin config =
   let add ~pod_name ~node ~publish:_ ~k =
-    let s = state_of config in
     let vm = Nest_orch.Node.vm node in
     let tap =
-      match Hashtbl.find_opt s.taps pod_name with
+      match Hashtbl.find_opt config.taps pod_name with
       | Some tap -> tap
       | None ->
         let tap =
           Nest_virt.Vmm.create_hostlo config.vmm ~name:("hostlo-" ^ pod_name)
         in
-        Hashtbl.replace s.taps pod_name tap;
+        Hashtbl.replace config.taps pod_name tap;
         tap
     in
-    let n = Option.value (Hashtbl.find_opt s.counts pod_name) ~default:0 in
-    Hashtbl.replace s.counts pod_name (n + 1);
+    let n = Option.value (Hashtbl.find_opt config.counts pod_name) ~default:0 in
+    Hashtbl.replace config.counts pod_name (n + 1);
     (* The fraction gets no regular lo: the Hostlo endpoint *is* its
        localhost. *)
     let netns =
@@ -55,7 +54,7 @@ let plugin config =
   in
   { Nest_orch.Cni.cni_name = "hostlo"; add }
 
-let tap_of_pod config pod = Hashtbl.find_opt (state_of config).taps pod
+let tap_of_pod config pod = Hashtbl.find_opt config.taps pod
 
 let fractions config pod =
-  Option.value (Hashtbl.find_opt (state_of config).counts pod) ~default:0
+  Option.value (Hashtbl.find_opt config.counts pod) ~default:0

@@ -17,7 +17,10 @@
 
 open Nest_net
 
-type config = { vmm : Nest_virt.Vmm.t }
+type config
+(** A deployment's Hostlo state: the VMM handle plus the per-pod loopback
+    TAPs and fraction counts.  The state is owned by the config value —
+    release the config and the whole deployment's state is collectable. *)
 
 val make_config : Nest_virt.Vmm.t -> config
 

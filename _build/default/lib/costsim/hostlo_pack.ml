@@ -39,8 +39,17 @@ let waste v = Kube_pack.vm_free_cpu v +. Kube_pack.vm_free_mem v
 (* Try to empty [victim] into the other VMs (most wasted space first,
    victim's smallest containers first).  All-or-nothing: partial spills
    would not release the VM.  Returns the number of containers moved. *)
+(* VMs are compared by [vm_id] throughout: downsizing (and copies made
+   by [Kube_pack.copy_plan]) produce records that are logically the same
+   VM but physically distinct, so pointer identity silently stops
+   matching after the first rewrite sweep. *)
+let same_vm (a : Kube_pack.vm) (b : Kube_pack.vm) =
+  a.Kube_pack.vm_id = b.Kube_pack.vm_id
+
 let try_empty (plan : Kube_pack.plan) victim =
-  let others = List.filter (fun v -> v != victim) plan.Kube_pack.vms in
+  let others =
+    List.filter (fun v -> not (same_vm v victim)) plan.Kube_pack.vms
+  in
   let contents =
     List.sort
       (fun (_, a) (_, b) ->
@@ -89,7 +98,7 @@ let try_empty (plan : Kube_pack.plan) victim =
         move_in target entry)
       !assignment;
     plan.Kube_pack.vms <-
-      List.filter (fun v -> v != victim) plan.Kube_pack.vms;
+      List.filter (fun v -> not (same_vm v victim)) plan.Kube_pack.vms;
     List.length !assignment
   end
 
@@ -176,7 +185,7 @@ let try_split_rebuy (plan : Kube_pack.plan) (v : Kube_pack.vm) =
         bins
     in
     plan.Kube_pack.vms <-
-      List.filter (fun x -> x != v) plan.Kube_pack.vms @ replacements;
+      List.filter (fun x -> not (same_vm x v)) plan.Kube_pack.vms @ replacements;
     Some (List.length replacements)
   | Some _ | None -> None
 
@@ -209,12 +218,12 @@ let improve (plan : Kube_pack.plan) =
       (fun victim ->
         if
           List.length plan.Kube_pack.vms > 1
-          && List.memq victim plan.Kube_pack.vms
+          && List.exists (same_vm victim) plan.Kube_pack.vms
         then begin
           let free_cpu, free_mem =
             List.fold_left
               (fun (fc, fm) v ->
-                if v == victim then (fc, fm)
+                if same_vm v victim then (fc, fm)
                 else
                   (fc +. Kube_pack.vm_free_cpu v, fm +. Kube_pack.vm_free_mem v))
               (0.0, 0.0) plan.Kube_pack.vms
@@ -242,7 +251,7 @@ let improve (plan : Kube_pack.plan) =
     in
     List.iter
       (fun v ->
-        if List.memq v plan.Kube_pack.vms then
+        if List.exists (same_vm v) plan.Kube_pack.vms then
           match try_split_rebuy plan v with
           | Some n ->
             incr removed;

@@ -1,1 +1,1 @@
-lib/experiments/exp_util.ml: Deploy Modes Nest_sim Nestfusion Printf String Testbed
+lib/experiments/exp_util.ml: Buffer Deploy Format List Modes Nest_sim Nestfusion Option Printf String Testbed

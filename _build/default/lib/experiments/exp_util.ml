@@ -1,5 +1,8 @@
 open Nestfusion
 module Time = Nest_sim.Time
+module Engine = Nest_sim.Engine
+module Trace = Nest_sim.Trace
+module Metrics = Nest_sim.Metrics
 
 type durations = { warmup : Time.ns; measure : Time.ns }
 
@@ -7,8 +10,88 @@ let durations ~quick =
   if quick then { warmup = Time.ms 50; measure = Time.ms 250 }
   else { warmup = Time.ms 100; measure = Time.sec 1 }
 
+module Obs = struct
+  (* Presentation-layer switchboard for the CLI's --trace/--metrics
+     flags.  The observability *data* lives on each run's engine (and
+     dies with it); this module only remembers which engines the current
+     process wants dumped, and forgets them on [dump]/[discard]. *)
+  type cfg = {
+    mutable trace : bool;
+    mutable trace_capacity : int;
+    mutable metrics : bool;
+    mutable json : bool;
+  }
+
+  let cfg = { trace = false; trace_capacity = 8192; metrics = false; json = false }
+  let attached : (string * Engine.t) list ref = ref []
+
+  let configure ?trace ?trace_capacity ?metrics ?json () =
+    Option.iter (fun v -> cfg.trace <- v) trace;
+    Option.iter (fun v -> cfg.trace_capacity <- v) trace_capacity;
+    Option.iter (fun v -> cfg.metrics <- v) metrics;
+    Option.iter (fun v -> cfg.json <- v) json
+
+  let enabled () = cfg.trace || cfg.metrics
+
+  let attach_engine engine ~label =
+    if enabled () then begin
+      if cfg.trace && Engine.tracer engine = None then
+        Engine.set_tracer engine
+          (Some (Trace.create ~capacity:cfg.trace_capacity ()));
+      if not (List.exists (fun (_, e) -> e == engine) !attached) then
+        attached := !attached @ [ (label, engine) ]
+    end
+
+  let attach tb ~label = attach_engine tb.Testbed.engine ~label
+  let discard () = attached := []
+
+  let dump_text () =
+    List.iter
+      (fun (label, engine) ->
+        Printf.printf "\n--- observability: %s ---\n" label;
+        if cfg.metrics then begin
+          print_endline "metrics:";
+          Format.printf "%a@?" Metrics.pp_text (Engine.metrics engine)
+        end;
+        match Engine.tracer engine with
+        | None -> ()
+        | Some tr ->
+          print_endline "trace events by name:";
+          List.iter
+            (fun (name, n) -> Printf.printf "  %-40s %d\n" name n)
+            (Trace.by_name tr);
+          Format.printf "%a@?" (Trace.pp_text ~limit:40) tr)
+      !attached
+
+  let dump_json () =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"runs\":[";
+    List.iteri
+      (fun i (label, engine) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"label\":\"%s\"" (Trace.json_escape label));
+        if cfg.metrics then
+          Buffer.add_string b
+            (",\"metrics\":" ^ Metrics.to_json (Engine.metrics engine));
+        (match Engine.tracer engine with
+        | None -> ()
+        | Some tr -> Buffer.add_string b (",\"trace\":" ^ Trace.to_json tr));
+        Buffer.add_char b '}')
+      !attached;
+    Buffer.add_string b "]}";
+    print_endline (Buffer.contents b)
+
+  let dump () =
+    if !attached <> [] then begin
+      if cfg.json then dump_json () else dump_text ()
+    end;
+    discard ()
+end
+
 let deploy_single_sync ?(seed = 42L) ~mode ~port () =
   let tb = Testbed.create ~seed ~num_vms:1 () in
+  Obs.attach tb ~label:("single:" ^ Modes.single_to_string mode);
   let site = ref None in
   Deploy.deploy_single tb ~mode ~name:"pod" ~entity:"server" ~port
     ~k:(fun s -> site := Some s);
@@ -22,6 +105,7 @@ let deploy_single_sync ?(seed = 42L) ~mode ~port () =
 
 let deploy_pair_sync ?(seed = 42L) ~mode ~port () =
   let tb = Testbed.create ~seed ~num_vms:2 () in
+  Obs.attach tb ~label:("pair:" ^ Modes.pair_to_string mode);
   let site = ref None in
   Deploy.deploy_pair tb ~mode ~name:"pod" ~a_entity:"client-ctr"
     ~b_entity:"server-ctr" ~port ~k:(fun s -> site := Some s);

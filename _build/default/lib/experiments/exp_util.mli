@@ -10,6 +10,34 @@ type durations = {
 val durations : quick:bool -> durations
 (** quick: 50 ms / 250 ms; full: 100 ms / 1 s. *)
 
+(** Observability switchboard for the experiment drivers (the CLI's
+    [--trace]/[--metrics] flags).  [configure] sets what to collect;
+    the [deploy_*_sync] helpers attach each testbed they create; [dump]
+    prints everything collected so far and forgets the engines. *)
+module Obs : sig
+  val configure :
+    ?trace:bool -> ?trace_capacity:int -> ?metrics:bool -> ?json:bool ->
+    unit -> unit
+  (** Unspecified fields keep their previous value.  Defaults: everything
+      off, capacity 8192, text output. *)
+
+  val enabled : unit -> bool
+  (** True when tracing or metrics collection is on. *)
+
+  val attach : Testbed.t -> label:string -> unit
+  (** Registers the testbed's engine for the next [dump]; installs a
+      tracer on it when tracing is on.  No-op when nothing is enabled. *)
+
+  val attach_engine : Nest_sim.Engine.t -> label:string -> unit
+
+  val dump : unit -> unit
+  (** Prints collected metrics/traces (text, or JSON with [json:true])
+      for every attached engine, then discards the attachments. *)
+
+  val discard : unit -> unit
+  (** Forgets attached engines without printing. *)
+end
+
 val deploy_single_sync :
   ?seed:int64 -> mode:Modes.single -> port:int -> unit ->
   Testbed.t * Deploy.server_site

@@ -1,1 +1,1 @@
-lib/net/vxlan.ml: Dev Frame Hashtbl Hop Ipv4 Lazy List Mac Payload Stack
+lib/net/vxlan.ml: Dev Frame Hashtbl Hop Ipv4 Lazy List Mac Nest_sim Payload Stack

@@ -9,10 +9,13 @@ type t = {
   mutable port_list : Dev.t list;
   fdb_tbl : (Mac.t, entry) Hashtbl.t;
   mutable forwarded : int;
+  hop_ctr : Nest_sim.Metrics.counter;
 }
 
 let input t port frame =
   Frame.record_hop frame t.br_name;
+  Nest_sim.Metrics.bump t.hop_ctr ();
+  Nest_sim.Engine.trace_instant t.engine ~cat:"hop" ~name:t.br_name ();
   (* Source learning. *)
   if not (Mac.is_broadcast frame.Frame.src) then begin
     match Hashtbl.find_opt t.fdb_tbl frame.Frame.src with
@@ -51,7 +54,10 @@ let create engine ~name ~hop ?(aging_ns = Nest_sim.Time.sec 300) ~self_mac () =
   let self = Dev.create ~name:(name ^ "(self)") ~mac:self_mac () in
   let t =
     { engine; br_name = name; hop; aging_ns; self; port_list = [];
-      fdb_tbl = Hashtbl.create 32; forwarded = 0 }
+      fdb_tbl = Hashtbl.create 32; forwarded = 0;
+      hop_ctr =
+        Nest_sim.Metrics.counter (Nest_sim.Engine.metrics engine)
+          ("hop." ^ name) }
   in
   (* Stack transmissions on the self device enter the switching plane. *)
   Dev.set_tx self (fun frame -> input t self frame);

@@ -9,14 +9,20 @@ let masquerade nf ct ~name ~src_subnet ?out_dev ~nat_ip () =
     | None -> true
     | Some d -> ctx.Netfilter.out_dev = Some d
   in
-  let action _ctx pkt = Netfilter.Mangle (Conntrack.snat ct pkt ~to_ip:nat_ip) in
+  let action _ctx pkt =
+    Packet.record_hop pkt ("nat:" ^ name);
+    Netfilter.Mangle (Conntrack.snat ct pkt ~to_ip:nat_ip)
+  in
   Netfilter.append nf Netfilter.Postrouting { rule_name = name; matches; action }
 
 let publish nf ct ~name ~dst_ip ~dst_port ~to_ip ~to_port =
   let matches _ctx (pkt : Packet.t) =
     Ipv4.equal pkt.Packet.dst dst_ip && dst_port_of pkt = dst_port
   in
-  let action _ctx pkt = Netfilter.Mangle (Conntrack.dnat ct pkt ~to_ip ~to_port) in
+  let action _ctx pkt =
+    Packet.record_hop pkt ("nat:" ^ name);
+    Netfilter.Mangle (Conntrack.dnat ct pkt ~to_ip ~to_port)
+  in
   Netfilter.append nf Netfilter.Prerouting { rule_name = name; matches; action }
 
 let drop_from nf ~name ~hook ~src_subnet =

@@ -17,6 +17,9 @@ let make ?(traced = false) ~src ~dst transport =
 
 let hops t = match t.trace with None -> [] | Some r -> List.rev !r
 
+let record_hop t hop =
+  match t.trace with None -> () | Some r -> r := hop :: !r
+
 let ip_header_bytes = 20
 let udp_header_bytes = 8
 let icmp_bytes = 8

@@ -24,6 +24,11 @@ val make : ?traced:bool -> src:Ipv4.t -> dst:Ipv4.t -> transport -> t
 val hops : t -> string list
 (** Hops in traversal order; [] when untraced. *)
 
+val record_hop : t -> string -> unit
+(** Appends a hop name to the packet's trace; no-op when untraced.  Used
+    by devices that transform rather than re-frame the packet (e.g. NAT
+    rule hits, which have no {!Frame.t} in hand). *)
+
 val len : t -> int
 (** Total IP length: 20-byte IP header + transport header + payload. *)
 

@@ -1,5 +1,7 @@
 module Engine = Nest_sim.Engine
 module Time = Nest_sim.Time
+module Trace = Nest_sim.Trace
+module Metrics = Nest_sim.Metrics
 
 let log_src = Nest_sim.Log.src "stack"
 
@@ -125,6 +127,36 @@ let wakeup_delay ns =
     int_of_float
       ((0.6 *. base) +. Nest_sim.Dist.exponential ns.ns_rng ~mean:(0.4 *. base))
 
+(* Counter bumps funnel through these helpers so every delivery/drop also
+   leaves a trace instant (cat ["pkt"], name = namespace) when a tracer is
+   installed.  The reconciliation invariant tested in the observability
+   suite — trace instants per namespace equal counter deltas — depends on
+   the two being updated at the same site. *)
+let note_delivered ns =
+  ns.cnt.delivered <- ns.cnt.delivered + 1;
+  Engine.trace_instant ns.eng ~cat:"pkt" ~name:ns.ns_name ~arg:"delivered" ()
+
+let note_drop ?(n = 1) ns reason =
+  (match reason with
+  | `No_socket -> ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + n
+  | `No_route -> ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + n
+  | `Filtered -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + n
+  | `Ttl -> ns.cnt.dropped_ttl <- ns.cnt.dropped_ttl + n);
+  match Engine.tracer ns.eng with
+  | None -> ()
+  | Some tr ->
+    let arg =
+      match reason with
+      | `No_socket -> "drop:no_socket"
+      | `No_route -> "drop:no_route"
+      | `Filtered -> "drop:filtered"
+      | `Ttl -> "drop:ttl"
+    in
+    for _ = 1 to n do
+      Trace.instant tr ~ts:(Engine.now ns.eng) ~cat:"pkt" ~name:ns.ns_name
+        ~arg ()
+    done
+
 let name ns = ns.ns_name
 let engine ns = ns.eng
 let nf ns = ns.nf_tbl
@@ -226,7 +258,7 @@ let arp_resolve ns dev ip k =
                 | None -> 0
               in
               Hashtbl.remove ns.arp_waiting ip;
-              ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + waiters
+              note_drop ~n:waiters ns `No_route
             end
             else begin
               arp_request ns dev ip;
@@ -298,21 +330,23 @@ let transmit_via ns ~(dev : Dev.t) ~next_hop pkt =
     else Netfilter.run ns.nf_tbl Netfilter.Postrouting ctx pkt
   in
   match post with
-  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | None -> note_drop ns `Filtered
   | Some pkt ->
     arp_resolve ns dev next_hop (fun mac -> send_ip_frame ns dev ~dst_mac:mac pkt)
 
 let deliver_locally ns pkt =
   Hop.service ns.cs.local ~bytes:(Packet.len pkt) (fun () ->
-      (match (pkt.Packet.trace, ns.lo) with
-      | Some r, Some lo -> r := lo.Dev.name :: !r
-      | _ -> ());
+      (match ns.lo with
+      | Some lo ->
+        Packet.record_hop pkt lo.Dev.name;
+        Engine.trace_instant ns.eng ~cat:"hop" ~name:lo.Dev.name ()
+      | None -> ());
       !ip_local_input_ref ns pkt)
 
 let ip_output ns pkt =
   let ctx = Netfilter.no_ctx in
   match Netfilter.run ns.nf_tbl Netfilter.Output ctx pkt with
-  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | None -> note_drop ns `Filtered
   | Some pkt -> (
     if is_local_addr ns pkt.Packet.dst then begin
       match dev_holding_addr ns pkt.Packet.dst with
@@ -325,7 +359,7 @@ let ip_output ns pkt =
     end
     else
       match Route.lookup ns.rt pkt.Packet.dst with
-      | None -> ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + 1
+      | None -> note_drop ns `No_route
       | Some e ->
         transmit_via ns ~dev:e.Route.dev
           ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)
@@ -657,14 +691,14 @@ let tcp_input ns (in_dev : Dev.t option) (pkt : Packet.t) (seg : Tcp_wire.t) =
   let key = (seg.Tcp_wire.dst_port, pkt.Packet.src, seg.Tcp_wire.src_port) in
   match Hashtbl.find_opt ns.conns key with
   | Some c ->
-    ns.cnt.delivered <- ns.cnt.delivered + 1;
+    note_delivered ns;
     tcp_conn_input c pkt seg
   | None -> (
     match Hashtbl.find_opt ns.listeners seg.Tcp_wire.dst_port with
     | Some l
       when seg.Tcp_wire.flags.Tcp_wire.syn
            && not seg.Tcp_wire.flags.Tcp_wire.ack ->
-      ns.cnt.delivered <- ns.cnt.delivered + 1;
+      note_delivered ns;
       let c =
         tcp_fresh_conn ns ~local_ip:pkt.Packet.dst
           ~local_port:seg.Tcp_wire.dst_port ~remote_ip:pkt.Packet.src
@@ -679,7 +713,7 @@ let tcp_input ns (in_dev : Dev.t option) (pkt : Packet.t) (seg : Tcp_wire.t) =
            ~seq:0 ~len:0 ~msgs:[]);
       tcp_arm_rto c
     | Some _ | None ->
-      ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + 1;
+      note_drop ns `No_socket;
       (* Reflector endpoints see every frame of the multiplexed loopback;
          fractions that don't own the flow must stay silent (§4.2). *)
       let on_reflector =
@@ -696,14 +730,14 @@ let tcp_input ns (in_dev : Dev.t option) (pkt : Packet.t) (seg : Tcp_wire.t) =
 let icmp_input ns (pkt : Packet.t) ~id ~seq ~reply =
   if reply then begin
     match Hashtbl.find_opt ns.icmp_waiters id with
-    | None -> ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + 1
+    | None -> note_drop ns `No_socket
     | Some (t0, k) ->
       Hashtbl.remove ns.icmp_waiters id;
-      ns.cnt.delivered <- ns.cnt.delivered + 1;
+      note_delivered ns;
       k ~rtt_ns:(Engine.now ns.eng - t0)
   end
   else begin
-    ns.cnt.delivered <- ns.cnt.delivered + 1;
+    note_delivered ns;
     let echo =
       Packet.make ~traced:ns.trace_all ~src:pkt.Packet.dst ~dst:pkt.Packet.src
         (Packet.Icmp_echo { id; seq; reply = true })
@@ -717,14 +751,14 @@ let demux ns (in_dev : Dev.t option) (pkt : Packet.t) =
   | Packet.Udp { src_port; dst_port; payload } -> (
     match Hashtbl.find_opt ns.udp_binds dst_port with
     | Some s when not s.u_closed ->
-      ns.cnt.delivered <- ns.cnt.delivered + 1;
+      note_delivered ns;
       let deliver () =
         if not s.u_closed then s.u_recv s ~src:(pkt.Packet.src, src_port) payload
       in
       if s.u_kernel then deliver ()
       else Engine.schedule ns.eng ~delay:(wakeup_delay ns) deliver
     | Some _ | None ->
-      ns.cnt.dropped_no_socket <- ns.cnt.dropped_no_socket + 1;
+      note_drop ns `No_socket;
       Nest_sim.Log.debug ~engine:ns.eng log_src (fun () ->
           Format.asprintf "%s: no UDP socket for %a" ns.ns_name Packet.pp pkt))
   | Packet.Tcp { seg; _ } -> tcp_input ns in_dev pkt seg
@@ -733,7 +767,7 @@ let demux ns (in_dev : Dev.t option) (pkt : Packet.t) =
 let ip_local_input ns pkt =
   let ctx = Netfilter.no_ctx in
   match Netfilter.run ns.nf_tbl Netfilter.Input ctx pkt with
-  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | None -> note_drop ns `Filtered
   | Some pkt -> demux ns None pkt
 
 let () = ip_local_input_ref := ip_local_input
@@ -747,29 +781,29 @@ let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
     else Netfilter.run ns.nf_tbl Netfilter.Prerouting ctx pkt
   in
   match pre with
-  | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+  | None -> note_drop ns `Filtered
   | Some pkt ->
     if is_local_addr ns pkt.Packet.dst then begin
       match Netfilter.run ns.nf_tbl Netfilter.Input ctx pkt with
-      | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+      | None -> note_drop ns `Filtered
       | Some pkt -> demux ns (Some dev) pkt
     end
     else if ns.fwd then begin
       match Netfilter.run ns.nf_tbl Netfilter.Forward ctx pkt with
-      | None -> ns.cnt.dropped_filtered <- ns.cnt.dropped_filtered + 1
+      | None -> note_drop ns `Filtered
       | Some pkt -> (
         match Packet.decrement_ttl pkt with
-        | None -> ns.cnt.dropped_ttl <- ns.cnt.dropped_ttl + 1
+        | None -> note_drop ns `Ttl
         | Some pkt -> (
           match Route.lookup ns.rt pkt.Packet.dst with
-          | None -> ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + 1
+          | None -> note_drop ns `No_route
           | Some e ->
             ns.cnt.forwarded_pkts <- ns.cnt.forwarded_pkts + 1;
             Hop.service ns.cs.forward ~bytes:(Packet.len pkt) (fun () ->
                 transmit_via ns ~dev:e.Route.dev
                   ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)))
     end
-    else ns.cnt.dropped_no_route <- ns.cnt.dropped_no_route + 1
+    else note_drop ns `No_route
 
 let dev_rx ns dev frame =
   (* L2 address filter. *)
@@ -833,6 +867,21 @@ let create engine ~name ~costs ?(with_loopback = true) () =
     attach ns lo;
     add_addr ns lo Ipv4.localhost lo_subnet
   end;
+  (* Export the datapath counters on the engine's registry.  Probes read
+     the live [cnt] record at snapshot time, so there is a single source
+     of truth and no double accounting. *)
+  let m = Engine.metrics engine in
+  let reg field f =
+    Metrics.gauge_probe m (Printf.sprintf "ns.%s.%s" name field) (fun () ->
+        float_of_int (f cnt))
+  in
+  reg "delivered" (fun c -> c.delivered);
+  reg "forwarded" (fun c -> c.forwarded_pkts);
+  reg "dropped_no_socket" (fun c -> c.dropped_no_socket);
+  reg "dropped_no_route" (fun c -> c.dropped_no_route);
+  reg "dropped_filtered" (fun c -> c.dropped_filtered);
+  reg "dropped_ttl" (fun c -> c.dropped_ttl);
+  reg "rst_sent" (fun c -> c.rst_sent);
   ns
 
 (* ------------------------------------------------------------------ *)

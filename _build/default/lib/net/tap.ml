@@ -9,17 +9,24 @@ type queue = {
 and t = {
   tap_name : string;
   tap_mode : mode;
+  engine : Nest_sim.Engine.t;
   hop : Hop.t;
   per_queue_ns : int;
   host_side : Dev.t;
   mutable queue_list : queue list;
   mutable reflected : int;
+  hop_ctr : Nest_sim.Metrics.counter;
 }
+
+let note_hop t frame =
+  Frame.record_hop frame t.tap_name;
+  Nest_sim.Metrics.bump t.hop_ctr ();
+  Nest_sim.Engine.trace_instant t.engine ~cat:"hop" ~name:t.tap_name ()
 
 let host_input t frame =
   (* Host side -> guest(s).  With several queues the kernel hashes flows;
      we deliver to the first queue, which matches single-queue virtio. *)
-  Frame.record_hop frame t.tap_name;
+  note_hop t frame;
   match t.queue_list with
   | [] -> ()
   | q :: _ -> (
@@ -28,11 +35,13 @@ let host_input t frame =
     | Some backend -> Hop.service t.hop ~bytes:(Frame.len frame) (fun () -> backend frame))
 
 let create engine ~name ~mode ~hop ?(per_queue_ns = 0) ~mac () =
-  ignore engine;
   let host_side = Dev.create ~name ~mac () in
   let t =
-    { tap_name = name; tap_mode = mode; hop; per_queue_ns; host_side;
-      queue_list = []; reflected = 0 }
+    { tap_name = name; tap_mode = mode; engine; hop; per_queue_ns; host_side;
+      queue_list = []; reflected = 0;
+      hop_ctr =
+        Nest_sim.Metrics.counter (Nest_sim.Engine.metrics engine)
+          ("hop." ^ name) }
   in
   Dev.set_tx host_side (fun frame -> host_input t frame);
   t
@@ -57,7 +66,7 @@ let queue_set_backend q f = q.backend <- Some f
 
 let queue_write q frame =
   let t = q.tap in
-  Frame.record_hop frame t.tap_name;
+  note_hop t frame;
   match t.tap_mode with
   | Normal ->
     (* Guest -> host side: the frame enters whatever the host attached

@@ -17,13 +17,18 @@ type t = {
   mutable remotes : Ipv4.t list;
   mutable encapsulated : int;
   mutable decapsulated : int;
+  encap_ctr : Nest_sim.Metrics.counter;
+  decap_ctr : Nest_sim.Metrics.counter;
 }
 
 let decap t (payload : Payload.t) =
   match payload.Payload.msg with
   | Some (Vxlan_encap inner) ->
     t.decapsulated <- t.decapsulated + 1;
+    Nest_sim.Metrics.bump t.decap_ctr ();
     Frame.record_hop inner (t.vtep_name ^ ":decap");
+    Nest_sim.Engine.trace_instant (Stack.engine t.underlay) ~cat:"hop"
+      ~name:(t.vtep_name ^ ":decap") ();
     Hop.service t.decap_hop ~bytes:(Frame.len inner) (fun () ->
         Dev.deliver t.overlay_dev inner)
   | Some _ | None -> ()
@@ -37,7 +42,10 @@ let encap t (inner : Frame.t) =
       | None -> t.remotes
   in
   if targets <> [] then begin
+    Nest_sim.Metrics.bump t.encap_ctr ();
     Frame.record_hop inner (t.vtep_name ^ ":encap");
+    Nest_sim.Engine.trace_instant (Stack.engine t.underlay) ~cat:"hop"
+      ~name:(t.vtep_name ^ ":encap") ();
     let payload =
       Payload.make ~size:(Frame.len inner + vxlan_header_bytes)
         (Vxlan_encap inner)
@@ -65,7 +73,15 @@ let create underlay ~name ~vni ~local ?(udp_port = default_port) ~encap_hop
           Stack.Udp.bind underlay ~port:udp_port ~kernel:true
             (fun _ ~src:_ payload -> decap (Lazy.force t) payload);
         overlay_dev; encap_hop; decap_hop; fdb = Hashtbl.create 16;
-        remotes = []; encapsulated = 0; decapsulated = 0 }
+        remotes = []; encapsulated = 0; decapsulated = 0;
+        encap_ctr =
+          Nest_sim.Metrics.counter
+            (Nest_sim.Engine.metrics (Stack.engine underlay))
+            ("hop." ^ name ^ ".encap");
+        decap_ctr =
+          Nest_sim.Metrics.counter
+            (Nest_sim.Engine.metrics (Stack.engine underlay))
+            ("hop." ^ name ^ ".decap") }
   in
   let t = Lazy.force t in
   Dev.set_tx overlay_dev (fun frame -> encap t frame);

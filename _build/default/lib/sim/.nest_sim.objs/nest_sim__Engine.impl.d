@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Heap Prng Time
+lib/sim/engine.ml: Float Hashtbl Heap List Metrics Prng Sys Time Trace

@@ -1,1 +1,1 @@
-lib/sim/engine.mli: Prng Time
+lib/sim/engine.mli: Metrics Prng Time Trace

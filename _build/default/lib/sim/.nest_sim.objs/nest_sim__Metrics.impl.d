@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Buffer Float Format Hashtbl List Option Printf Stats String Trace

@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Format Stats

@@ -1,1 +1,1 @@
-lib/sim/stats.ml: Array Format List Stdlib
+lib/sim/stats.ml: Array Float Format List Stdlib

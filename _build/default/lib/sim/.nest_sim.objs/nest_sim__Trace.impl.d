@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Char Format Hashtbl List Option Printf String Time

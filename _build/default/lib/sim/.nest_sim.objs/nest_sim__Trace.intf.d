@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Format Time

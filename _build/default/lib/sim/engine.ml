@@ -1,29 +1,98 @@
+type job = { label : string; fn : unit -> unit }
+
+type prof_slot = { mutable calls : int; mutable wall : float }
+
 type t = {
   mutable clock : Time.ns;
-  queue : (unit -> unit) Heap.t;
+  queue : job Heap.t;
   root_rng : Prng.t;
   mutable executed : int;
+  metrics : Metrics.t;
+  mutable tracer : Trace.t option;
+  mutable prof : (string, prof_slot) Hashtbl.t option;
+  mutable prof_clock : unit -> float;
 }
 
 let create ?(seed = 0x5EEDL) () =
-  { clock = 0; queue = Heap.create (); root_rng = Prng.create seed; executed = 0 }
+  let t =
+    {
+      clock = 0;
+      queue = Heap.create ();
+      root_rng = Prng.create seed;
+      executed = 0;
+      metrics = Metrics.create ();
+      tracer = None;
+      prof = None;
+      prof_clock = Sys.time;
+    }
+  in
+  Metrics.gauge_probe t.metrics "engine.events_processed" (fun () ->
+      float_of_int t.executed);
+  Metrics.gauge_probe t.metrics "engine.pending" (fun () ->
+      float_of_int (Heap.size t.queue));
+  t
 
 let now t = t.clock
 let rng t = t.root_rng
+let metrics t = t.metrics
 
-let schedule_at t ~at f =
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
+
+let trace_instant t ~cat ~name ?arg () =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace.instant tr ~ts:t.clock ~cat ~name ?arg ()
+
+let enable_profiling ?clock t =
+  (match clock with Some c -> t.prof_clock <- c | None -> ());
+  if t.prof = None then t.prof <- Some (Hashtbl.create 32)
+
+let profile t =
+  match t.prof with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold (fun label s acc -> (label, s.calls, s.wall) :: acc) tbl []
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+
+let schedule_at t ?(label = "") ~at fn =
   let at = max at t.clock in
-  Heap.push t.queue ~prio:at f
+  Heap.push t.queue ~prio:at { label; fn }
 
-let schedule t ~delay f = schedule_at t ~at:(t.clock + max 0 delay) f
+let schedule t ?label ~delay fn =
+  schedule_at t ?label ~at:(t.clock + max 0 delay) fn
+
+(* The unlabeled, untraced, unprofiled path must stay as close to a bare
+   [fn ()] as possible: the ≤2%-overhead budget for disabled observability
+   is burned here, once per simulated event. *)
+let exec t job at =
+  match t.tracer with
+  | Some tr when job.label <> "" ->
+    Trace.span_begin tr ~ts:at ~cat:"engine" ~name:job.label ();
+    job.fn ();
+    Trace.span_end tr ~ts:t.clock ~cat:"engine" ~name:job.label ()
+  | Some _ | None -> job.fn ()
+
+let exec_profiled t tbl job at =
+  let t0 = t.prof_clock () in
+  exec t job at;
+  let dt = t.prof_clock () -. t0 in
+  let label = if job.label = "" then "<unlabeled>" else job.label in
+  match Hashtbl.find_opt tbl label with
+  | Some s ->
+    s.calls <- s.calls + 1;
+    s.wall <- s.wall +. dt
+  | None -> Hashtbl.add tbl label { calls = 1; wall = dt }
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
-  | Some (at, f) ->
+  | Some (at, job) ->
     t.clock <- at;
     t.executed <- t.executed + 1;
-    f ();
+    (match t.prof with
+    | None -> exec t job at
+    | Some tbl -> exec_profiled t tbl job at);
     true
 
 let run ?until t =

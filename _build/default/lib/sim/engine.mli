@@ -4,7 +4,13 @@
     a priority queue of pending events.  [run] pops events in timestamp
     order; each event is a thunk that may schedule further events.  All the
     network devices, CPU contexts and workload generators in this repository
-    are driven by one engine instance per experiment. *)
+    are driven by one engine instance per experiment.
+
+    The engine is also the anchor for observability state: it always owns a
+    {!Metrics.t} registry, and optionally carries a {!Trace.t} ring plus a
+    per-event-class wall-clock profile.  Tying these to the engine (rather
+    than module globals) means their lifetime is exactly one run — a fresh
+    engine starts with empty metrics, no tracer and no profile. *)
 
 type t
 
@@ -19,10 +25,12 @@ val now : t -> Time.ns
 val rng : t -> Prng.t
 (** Root random stream of this engine. *)
 
-val schedule : t -> delay:Time.ns -> (unit -> unit) -> unit
-(** [schedule t ~delay f] fires [f] at [now t + max 0 delay]. *)
+val schedule : t -> ?label:string -> delay:Time.ns -> (unit -> unit) -> unit
+(** [schedule t ~delay f] fires [f] at [now t + max 0 delay].  [label]
+    names the event class (e.g. the executing context) for tracing and
+    profiling; unlabeled events are not bracketed by trace spans. *)
 
-val schedule_at : t -> at:Time.ns -> (unit -> unit) -> unit
+val schedule_at : t -> ?label:string -> at:Time.ns -> (unit -> unit) -> unit
 (** Absolute-date variant; dates in the past fire immediately (at [now]). *)
 
 val run : ?until:Time.ns -> t -> unit
@@ -38,3 +46,31 @@ val pending : t -> int
 
 val events_processed : t -> int
 (** Total number of events executed so far (monotonic). *)
+
+(** {2 Observability} *)
+
+val metrics : t -> Metrics.t
+(** This engine's metrics registry.  Pre-populated with the
+    [engine.events_processed] and [engine.pending] gauges. *)
+
+val set_tracer : t -> Trace.t option -> unit
+(** Installs (or removes) the event tracer.  With a tracer installed,
+    labeled events are bracketed by [engine:<label>] spans and subsystems
+    emit per-hop instants via {!trace_instant}. *)
+
+val tracer : t -> Trace.t option
+
+val trace_instant :
+  t -> cat:string -> name:string -> ?arg:string -> unit -> unit
+(** Records an instant at [now t] on the installed tracer; no-op (one
+    option check) when tracing is disabled. *)
+
+val enable_profiling : ?clock:(unit -> float) -> t -> unit
+(** Starts accumulating per-label event counts and host wall time.
+    [clock] defaults to [Sys.time]; tests inject a deterministic one.
+    Idempotent (a second call only replaces the clock). *)
+
+val profile : t -> (string * int * float) list
+(** [(label, events, host_seconds)] per event class, most expensive first;
+    events scheduled without a label appear as ["<unlabeled>"].  Empty
+    when profiling was never enabled. *)

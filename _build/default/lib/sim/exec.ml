@@ -47,7 +47,7 @@ let submit ?charge_as t ~cost k =
   List.iter
     (fun (acct, entity, cat) -> Cpu_account.charge acct ~entity cat cost)
     t.also;
-  Engine.schedule_at t.engine ~at:finish k
+  Engine.schedule_at t.engine ~label:t.exec_name ~at:finish k
 
 let busy_until t = t.slots.(min_slot t)
 let busy_ns t = t.busy_ns

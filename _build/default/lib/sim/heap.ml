@@ -1,20 +1,28 @@
-type 'a entry = { prio : int; seq : int; value : 'a }
+(* Slots are a variant rather than a bare entry record so vacated cells can
+   be reset to [Empty]: a popped value must become unreachable from the heap
+   immediately, or the backing array pins arbitrarily large closures (the
+   engine stores event thunks here) until the slot happens to be
+   overwritten.  [Empty] is an immediate, so the per-push allocation profile
+   is the same as with a plain record. *)
+type 'a slot = Empty | Entry of { prio : int; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a slot array;
   mutable len : int;
   mutable next_seq : int;
 }
 
 let create () = { data = [||]; len = 0; next_seq = 0 }
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let less a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+  | _ -> assert false (* slots below [len] are always [Entry] *)
 
-let grow t e =
+let grow t =
   let cap = Array.length t.data in
   if t.len = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let nd = Array.make ncap e in
+    let nd = Array.make (max 16 (cap * 2)) Empty in
     Array.blit t.data 0 nd 0 t.len;
     t.data <- nd
   end
@@ -43,9 +51,9 @@ let rec sift_down t i =
   end
 
 let push t ~prio value =
-  let e = { prio; seq = t.next_seq; value } in
+  let e = Entry { prio; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  grow t e;
+  grow t;
   t.data.(t.len) <- e;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
@@ -53,16 +61,28 @@ let push t ~prio value =
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
-      sift_down t 0
-    end;
-    Some (top.prio, top.value)
+    match t.data.(0) with
+    | Empty -> assert false
+    | Entry top ->
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.data.(0) <- t.data.(t.len);
+        sift_down t 0
+      end;
+      t.data.(t.len) <- Empty;
+      Some (top.prio, top.value)
   end
 
-let peek_prio t = if t.len = 0 then None else Some t.data.(0).prio
+let peek_prio t =
+  if t.len = 0 then None
+  else
+    match t.data.(0) with
+    | Entry e -> Some e.prio
+    | Empty -> assert false
+
 let size t = t.len
 let is_empty t = t.len = 0
-let clear t = t.len <- 0
+
+let clear t =
+  Array.fill t.data 0 t.len Empty;
+  t.len <- 0

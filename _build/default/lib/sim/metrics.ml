@@ -1,0 +1,152 @@
+type counter = int ref
+
+type metric =
+  | M_counter of counter
+  | M_gauge of float ref
+  | M_probe of (unit -> float)
+  | M_hist of Stats.t
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let flavour = function
+  | M_counter _ -> "counter"
+  | M_gauge _ | M_probe _ -> "gauge"
+  | M_hist _ -> "histogram"
+
+let wrong_flavour name ~want m =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, not a %s" name (flavour m) want)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_counter c) -> c
+  | Some m -> wrong_flavour name ~want:"counter" m
+  | None ->
+    let c = ref 0 in
+    Hashtbl.add t.tbl name (M_counter c);
+    c
+
+let bump c ?(by = 1) () = c := !c + by
+let counter_value c = !c
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_gauge g) -> g := v
+  | Some m -> wrong_flavour name ~want:"gauge" m
+  | None -> Hashtbl.add t.tbl name (M_gauge (ref v))
+
+let gauge_probe t name f =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_probe _) | None -> Hashtbl.replace t.tbl name (M_probe f)
+  | Some m -> wrong_flavour name ~want:"gauge" m
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_hist s) -> s
+  | Some m -> wrong_flavour name ~want:"histogram" m
+  | None ->
+    let s = Stats.create ~name () in
+    Hashtbl.add t.tbl name (M_hist s);
+    s
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of {
+      count : int;
+      total : float;
+      mean : float;
+      p50 : float;
+      p99 : float;
+      vmin : float;
+      vmax : float;
+    }
+
+let value_of = function
+  | M_counter c -> Counter !c
+  | M_gauge g -> Gauge !g
+  | M_probe f -> Gauge (f ())
+  | M_hist s ->
+    let n = Stats.count s in
+    if n = 0 then
+      Summary
+        { count = 0; total = 0.0; mean = 0.0; p50 = 0.0; p99 = 0.0;
+          vmin = 0.0; vmax = 0.0 }
+    else
+      Summary
+        {
+          count = n;
+          total = Stats.total s;
+          mean = Stats.mean s;
+          p50 = Stats.percentile s 50.0;
+          p99 = Stats.percentile s 99.0;
+          vmin = Stats.min s;
+          vmax = Stats.max s;
+        }
+
+let snapshot t =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name = Option.map value_of (Hashtbl.find_opt t.tbl name)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> c := 0
+      | M_gauge g -> g := 0.0
+      | M_probe _ -> ()
+      | M_hist s -> Stats.clear s)
+    t.tbl
+
+let size t = Hashtbl.length t.tbl
+
+let pp_value fmt = function
+  | Counter n -> Format.fprintf fmt "%d" n
+  | Gauge v -> Format.fprintf fmt "%g" v
+  | Summary s ->
+    Format.fprintf fmt "n=%d mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f"
+      s.count s.mean s.p50 s.p99 s.vmin s.vmax
+
+let pp_text fmt t =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-40s %a@." name pp_value v)
+    (snapshot t)
+
+let json_float v =
+  (* [%g] alone can print "inf"/"nan", which is not JSON. *)
+  if Float.is_nan v then "null"
+  else if v = infinity then "1e308"
+  else if v = neg_infinity then "-1e308"
+  else Printf.sprintf "%.17g" v
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      let name = Trace.json_escape name in
+      (match v with
+      | Counter n ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"counter\",\"value\":%d}"
+             name n)
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%s}"
+             name (json_float g))
+      | Summary s ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"total\":%s,\
+              \"mean\":%s,\"p50\":%s,\"p99\":%s,\"min\":%s,\"max\":%s}"
+             name s.count (json_float s.total) (json_float s.mean)
+             (json_float s.p50) (json_float s.p99) (json_float s.vmin)
+             (json_float s.vmax))))
+    (snapshot t);
+  Buffer.add_char b ']';
+  Buffer.contents b

@@ -1,0 +1,71 @@
+(** Global metrics registry: named counters, gauges and histograms with a
+    single snapshot/reset surface.
+
+    Every {!Engine.t} owns one registry ({!Engine.metrics}), so metric
+    lifetime is the engine's lifetime — no cross-run accumulation, no
+    module-global state.  Hot paths hold on to the {!counter} or
+    {!histogram} handle returned at registration and bump it directly; the
+    name table is only consulted at registration and snapshot time.
+
+    Three metric flavours:
+    - counters: monotonically increasing ints, zeroed by {!reset};
+    - gauges: either stored floats ({!set_gauge}) or probes
+      ({!gauge_probe}) read lazily at snapshot time — probes are how
+      existing mutable counters (e.g. a namespace's datapath counters) are
+      exported without double accounting;
+    - histograms: full {!Stats.t} accumulators. *)
+
+type t
+
+type counter
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create.  Raises [Invalid_argument] if [name] is already a
+    metric of another flavour. *)
+
+val bump : counter -> ?by:int -> unit -> unit
+val counter_value : counter -> int
+
+val set_gauge : t -> string -> float -> unit
+(** Stored gauge; creates it on first use. *)
+
+val gauge_probe : t -> string -> (unit -> float) -> unit
+(** Registers (or replaces) a gauge whose value is read by calling the
+    probe at snapshot time. *)
+
+val histogram : t -> string -> Stats.t
+(** Get-or-create a sample accumulator registered under [name]. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of {
+      count : int;
+      total : float;
+      mean : float;
+      p50 : float;
+      p99 : float;
+      vmin : float;
+      vmax : float;
+    }  (** Histogram digest; all floats 0 when [count = 0]. *)
+
+val snapshot : t -> (string * value) list
+(** All metrics, sorted by name; probes are evaluated now. *)
+
+val find : t -> string -> value option
+
+val reset : t -> unit
+(** Counters to 0, stored gauges to 0, histograms emptied.  Probes are
+    untouched (they re-read their source).  Handles stay valid. *)
+
+val size : t -> int
+(** Number of registered metrics. *)
+
+val pp_text : Format.formatter -> t -> unit
+(** One line per metric, sorted by name. *)
+
+val to_json : t -> string
+(** Snapshot as a JSON array of
+    [{"name":…,"type":"counter"|"gauge"|"histogram",…}] objects. *)

@@ -6,11 +6,15 @@ type t = {
   mutable sumsq : float;
   mutable mn : float;
   mutable mx : float;
+  mutable sorted_cache : float array option;
+      (* Samples sorted ascending; invalidated by [add]/[clear].  Shared by
+         all percentile/CDF queries between additions, so a summary line
+         costs one sort, not one per percentile. *)
 }
 
 let create ?(name = "") () =
   { stat_name = name; data = [||]; len = 0; sum = 0.0; sumsq = 0.0;
-    mn = infinity; mx = neg_infinity }
+    mn = infinity; mx = neg_infinity; sorted_cache = None }
 
 let name t = t.stat_name
 
@@ -25,8 +29,18 @@ let add t x =
   t.len <- t.len + 1;
   t.sum <- t.sum +. x;
   t.sumsq <- t.sumsq +. (x *. x);
+  t.sorted_cache <- None;
   if x < t.mn then t.mn <- x;
   if x > t.mx then t.mx <- x
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0;
+  t.sum <- 0.0;
+  t.sumsq <- 0.0;
+  t.mn <- infinity;
+  t.mx <- neg_infinity;
+  t.sorted_cache <- None
 
 let count t = t.len
 let total t = t.sum
@@ -44,10 +58,18 @@ let stddev t = sqrt (variance t)
 let min t = t.mn
 let max t = t.mx
 
+(* Only handed out internally: callers must not mutate the result.
+   [Float.compare] is a total order (NaN sorts below every number), so a
+   stray NaN sample cannot corrupt the sort the way an inconsistent
+   comparison would. *)
 let sorted t =
-  let a = Array.sub t.data 0 t.len in
-  Array.sort compare a;
-  a
+  match t.sorted_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.data 0 t.len in
+    Array.sort Float.compare a;
+    t.sorted_cache <- Some a;
+    a
 
 let percentile t p =
   if t.len = 0 then invalid_arg "Stats.percentile: empty";

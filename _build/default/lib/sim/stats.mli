@@ -11,6 +11,11 @@ val create : ?name:string -> unit -> t
 val name : t -> string
 
 val add : t -> float -> unit
+
+val clear : t -> unit
+(** Drops all samples and running moments; the accumulator is reusable
+    (keeps its name).  Used by {!Metrics.reset}. *)
+
 val count : t -> int
 val mean : t -> float
 (** 0 when empty. *)

@@ -1,0 +1,110 @@
+type kind = Span_begin | Span_end | Instant
+
+type event = {
+  ts : Time.ns;
+  kind : kind;
+  cat : string;
+  name : string;
+  arg : string;
+}
+
+let dummy = { ts = 0; kind = Instant; cat = ""; name = ""; arg = "" }
+
+type t = {
+  buf : event array;
+  mutable total : int;  (* events ever recorded; next write at total mod cap *)
+}
+
+let create ?(capacity = 8192) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  { buf = Array.make capacity dummy; total = 0 }
+
+let capacity t = Array.length t.buf
+let recorded t = t.total
+let dropped t = max 0 (t.total - Array.length t.buf)
+
+let record t ~ts kind ~cat ~name ?(arg = "") () =
+  t.buf.(t.total mod Array.length t.buf) <- { ts; kind; cat; name; arg };
+  t.total <- t.total + 1
+
+let instant t ~ts ~cat ~name ?arg () = record t ~ts Instant ~cat ~name ?arg ()
+let span_begin t ~ts ~cat ~name ?arg () = record t ~ts Span_begin ~cat ~name ?arg ()
+let span_end t ~ts ~cat ~name ?arg () = record t ~ts Span_end ~cat ~name ?arg ()
+
+let retained t = min t.total (Array.length t.buf)
+
+let events t =
+  let cap = Array.length t.buf in
+  let n = retained t in
+  let first = t.total - n in
+  List.init n (fun i -> t.buf.((first + i) mod cap))
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) dummy;
+  t.total <- 0
+
+let by_name t =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let key = e.cat ^ ":" ^ e.name in
+      Hashtbl.replace counts key
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+    (events t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort compare
+
+let kind_string = function
+  | Span_begin -> "begin"
+  | Span_end -> "end"
+  | Instant -> "instant"
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%a] %-7s %s:%s%s" Time.pp e.ts (kind_string e.kind)
+    e.cat e.name
+    (if e.arg = "" then "" else " " ^ e.arg)
+
+let pp_text ?limit fmt t =
+  let evs = events t in
+  let n = List.length evs in
+  let limit = Option.value limit ~default:n in
+  let skipped = max 0 (n - limit) in
+  Format.fprintf fmt "trace: %d recorded, %d in ring, %d dropped@."
+    t.total n (dropped t);
+  if skipped > 0 then Format.fprintf fmt "  … %d earlier events elided@." skipped;
+  List.iteri
+    (fun i e -> if i >= skipped then Format.fprintf fmt "  %a@." pp_event e)
+    evs
+
+(* Minimal JSON string escaping: the names used here are plain
+   identifiers, but args are free-form. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"capacity\":%d,\"recorded\":%d,\"dropped\":%d,\"events\":["
+       (capacity t) t.total (dropped t));
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"ts\":%d,\"kind\":\"%s\",\"cat\":\"%s\",\"name\":\"%s\",\"arg\":\"%s\"}"
+           e.ts (kind_string e.kind) (json_escape e.cat) (json_escape e.name)
+           (json_escape e.arg)))
+    (events t);
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,76 @@
+(** Low-overhead event-tracing ring.
+
+    A trace is a fixed-capacity ring of timestamped events: span begin/end
+    pairs bracket an activity (an engine event class, an experiment phase)
+    and instants mark point occurrences (a packet crossing a hop, a drop).
+    When the ring is full the oldest events are overwritten, so a tracer
+    can stay installed for a whole run at bounded memory; {!dropped} says
+    how much history was lost.
+
+    Recording is O(1) with no allocation beyond the event record itself.
+    Subsystems reach their tracer through {!Engine.tracer}, which is [None]
+    unless one was installed — the disabled path is a single option
+    check. *)
+
+type t
+
+type kind = Span_begin | Span_end | Instant
+
+type event = {
+  ts : Time.ns;    (** Simulation date of the event. *)
+  kind : kind;
+  cat : string;    (** Coarse category, e.g. ["hop"], ["pkt"], ["engine"]. *)
+  name : string;   (** Subject, e.g. a device or event-class name. *)
+  arg : string;    (** Free-form detail; [""] when none. *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] events (default 8192).  Raises
+    [Invalid_argument] when [capacity <= 0]. *)
+
+val record :
+  t -> ts:Time.ns -> kind -> cat:string -> name:string -> ?arg:string ->
+  unit -> unit
+
+val instant :
+  t -> ts:Time.ns -> cat:string -> name:string -> ?arg:string -> unit -> unit
+
+val span_begin :
+  t -> ts:Time.ns -> cat:string -> name:string -> ?arg:string -> unit -> unit
+
+val span_end :
+  t -> ts:Time.ns -> cat:string -> name:string -> ?arg:string -> unit -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded (monotonic). *)
+
+val dropped : t -> int
+(** Events lost to ring wrap-around: [recorded - min recorded capacity]. *)
+
+val capacity : t -> int
+
+val clear : t -> unit
+(** Empties the ring and releases the retained events (the backing array
+    keeps its capacity but no longer references old events). *)
+
+val by_name : t -> (string * int) list
+(** Retained-event counts aggregated by [(cat, name)], rendered as
+    ["cat:name"], sorted by name.  The per-hop summary view. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_text : ?limit:int -> Format.formatter -> t -> unit
+(** Human-readable dump: one line per event, oldest first; at most [limit]
+    events (default: all retained), preceded by a header line. *)
+
+val to_json : t -> string
+(** The whole ring as a JSON object:
+    [{"capacity":…,"recorded":…,"dropped":…,"events":[…]}]. *)
+
+val json_escape : string -> string
+(** Escapes a string for embedding in a JSON string literal.  Shared by
+    the other hand-rolled JSON emitters in this tree ({!Metrics.to_json},
+    the experiment drivers). *)

@@ -1,0 +1,1 @@
+test/test_observability.ml: Alcotest Astring Bridge Bytes Deploy Float Gc Hostlo List Modes Nest_net Nest_orch Nest_sim Nestfusion Payload Printf Stack Testbed Weak
