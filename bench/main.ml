@@ -170,11 +170,12 @@ let run_micro () =
     rows
 
 (* ------------------------------------------------------------------ *)
-(* Observability overhead: the same netperf kernel with tracing+metrics
-   off vs on.  The disabled figure is the one that matters (the
+(* Observability overhead: the same netperf kernel at three collection
+   levels — everything off, tracing+metrics, tracing+metrics+per-packet
+   latency provenance.  The disabled figure is the one that matters (the
    instrumentation rides the per-event/per-packet hot paths and must be
-   ~free when nothing is collecting); the enabled figure shows what a
-   [--trace --metrics] run costs. *)
+   ~free when nothing is collecting); the enabled figures show what a
+   [--trace --metrics] run and a full `nestsim obs` run cost. *)
 
 let time_runs ~reps f =
   (* One untimed warmup run absorbs allocator/startup noise. *)
@@ -187,19 +188,27 @@ let time_runs ~reps f =
 
 let run_overhead () =
   print_newline ();
-  print_endline "== Observability overhead (netperf kernel, off vs on) ==";
+  print_endline
+    "== Observability overhead (netperf kernel, off / trace+metrics / \
+     +provenance) ==";
   let reps = 3 in
   let kernel = kernel_netperf_single ~mode:`Nat in
-  Exp_util.Obs.configure ~trace:false ~metrics:false ();
-  let off = time_runs ~reps kernel in
-  Exp_util.Obs.configure ~trace:true ~metrics:true ();
-  let on = time_runs ~reps kernel in
-  Exp_util.Obs.configure ~trace:false ~metrics:false ();
-  Exp_util.Obs.discard ();
-  Printf.printf "%-42s %10.2f ms\n" "tracing+metrics disabled" (off *. 1e3);
-  Printf.printf "%-42s %10.2f ms\n" "tracing+metrics enabled" (on *. 1e3);
-  Printf.printf "%-42s %+9.1f %%\n" "enabled overhead"
-    (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)
+  let timed ~trace ~metrics ~provenance =
+    Exp_util.Obs.configure ~trace ~metrics ~provenance ();
+    let t = time_runs ~reps kernel in
+    Exp_util.Obs.discard ();
+    t
+  in
+  let off = timed ~trace:false ~metrics:false ~provenance:false in
+  let tm = timed ~trace:true ~metrics:true ~provenance:false in
+  let tmp = timed ~trace:true ~metrics:true ~provenance:true in
+  Exp_util.Obs.configure ~trace:false ~metrics:false ~provenance:false ();
+  let overhead v = if off > 0.0 then 100.0 *. (v -. off) /. off else 0.0 in
+  Printf.printf "%-42s %10.2f ms\n" "collection disabled" (off *. 1e3);
+  Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n" "tracing+metrics" (tm *. 1e3)
+    (overhead tm);
+  Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n" "tracing+metrics+provenance"
+    (tmp *. 1e3) (overhead tmp)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

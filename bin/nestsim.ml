@@ -5,6 +5,7 @@
      nestsim run all --quick
      nestsim run ablations
      nestsim list
+     nestsim obs run fig4 --out trace.json
      nestsim trace gen --users 492 --seed 2026 --out trace.csv
      nestsim trace stats trace.csv *)
 
@@ -39,6 +40,47 @@ let run_cmd ids quick trace metrics obs_json trace_capacity =
           exit 1)
       ids);
   Nest_experiments.Exp_util.Obs.dump ()
+
+(* Observability-first run: full collection on, any registered experiment
+   (or none), a Perfetto-loadable Chrome trace written to --out, and a
+   per-hop latency-attribution table comparing the deployment modes. *)
+let obs_cmd ids quick out trace_capacity timeline_period_us =
+  if trace_capacity <= 0 then begin
+    Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
+      trace_capacity;
+    exit 1
+  end;
+  if timeline_period_us <= 0 then begin
+    Printf.eprintf "nestsim: --timeline-period must be positive (got %d)\n"
+      timeline_period_us;
+    exit 1
+  end;
+  Nest_experiments.Exp_util.Obs.configure ~trace:true ~metrics:true
+    ~provenance:true ~timeline:true ~trace_capacity
+    ~timeline_period:(Nest_sim.Time.us timeline_period_us) ();
+  List.iter
+    (fun id ->
+      match Nest_experiments.Registry.find id with
+      | Some e -> e.Nest_experiments.Registry.run ~quick
+      | None ->
+        Printf.eprintf "unknown experiment %S; try `nestsim list'\n" id;
+        exit 1)
+    ids;
+  (* Timed per-mode probes: each deploys its own testbed (attached above
+     through the sync helpers), so their spans land in the export too. *)
+  let probes = Nest_experiments.Exp_util.provenance_probes () in
+  let ex = Nest_experiments.Exp_util.Obs.export_chrome () in
+  List.iter
+    (fun (label, entries) ->
+      let pid = Nest_sim.Trace_export.process ex ~name:("probe:" ^ label) in
+      Nest_sim.Trace_export.add_provenance ex ~pid entries)
+    probes;
+  Nest_sim.Trace_export.to_file ex out;
+  List.iter Nest_experiments.Exp_util.print_attribution probes;
+  Nest_experiments.Exp_util.Obs.discard ();
+  Printf.printf "\nwrote %d trace events to %s (open in ui.perfetto.dev)\n"
+    (Nest_sim.Trace_export.event_count ex)
+    out
 
 let trace_gen users seed out =
   let trace =
@@ -125,6 +167,38 @@ let list_term =
   let doc = "List available experiments." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const list_cmd $ const ())
 
+let obs_term =
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Chrome trace-event JSON output (Perfetto-loadable).")
+  in
+  let timeline_period =
+    Arg.(value & opt int 1000
+         & info [ "timeline-period" ] ~docv:"US"
+             ~doc:"CPU-timeline sampling period in microseconds of sim \
+                   time.")
+  in
+  let obs_ids =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"EXPERIMENT"
+             ~doc:"Experiment ids to run with full collection on (may be \
+                   empty: the probes alone still produce a trace).")
+  in
+  let run =
+    let doc =
+      "Run experiments with tracing, metrics, CPU timelines and latency \
+       provenance all on; write a Chrome trace and print per-hop latency \
+       attribution across deployment modes."
+    in
+    Cmd.v (Cmd.info "run" ~doc)
+      Term.(
+        const obs_cmd $ obs_ids $ quick $ out $ trace_capacity
+        $ timeline_period)
+  in
+  let doc = "Observability workflows (Perfetto export, latency attribution)." in
+  Cmd.group (Cmd.info "obs" ~doc) [ run ]
+
 let trace_term =
   let users =
     Arg.(value & opt int 492 & info [ "users" ] ~doc:"Number of users.")
@@ -157,6 +231,6 @@ let main =
   Cmd.group
     (Cmd.info "nestsim" ~version:"1.0.0" ~doc)
     ~default:Term.(const (fun () -> list_cmd ()) $ const ())
-    [ run_term; list_term; trace_term ]
+    [ run_term; list_term; obs_term; trace_term ]
 
 let () = exit (Cmd.eval main)

@@ -19,6 +19,23 @@ val udp_path :
     a temporary socket on [dst]; restores tracing and observer state
     afterwards.  Drive the engine until [k] fires. *)
 
+val udp_timed_path :
+  src:Stack.ns ->
+  dst:Stack.ns ->
+  dst_addr:Ipv4.t ->
+  port:int ->
+  ?size:int ->
+  k:(Nest_sim.Provenance.entry list -> unit) ->
+  unit ->
+  unit
+(** Timed generalization of {!udp_path}: hop timings, not just names.
+    Sends a warmup datagram (resolving ARP so the measured path has no
+    cold-start artifacts) followed by a measured one, and hands [k] the
+    provenance entries recorded for the second — the datagram's one-way
+    latency decomposed into per-hop queue/service time.  Restores
+    provenance and observer state afterwards.  Drive the engine until
+    [k] fires. *)
+
 val contains_seq : string list -> string list -> bool
 (** [contains_seq hops expected] checks that [expected] appears in [hops]
     in order (not necessarily contiguously). *)

@@ -20,39 +20,76 @@ module Obs = struct
     mutable trace_capacity : int;
     mutable metrics : bool;
     mutable json : bool;
+    mutable provenance : bool;
+    mutable timeline : bool;
+    mutable timeline_period : Time.ns;
   }
 
-  let cfg = { trace = false; trace_capacity = 8192; metrics = false; json = false }
-  let attached : (string * Engine.t) list ref = ref []
+  let cfg =
+    { trace = false; trace_capacity = 8192; metrics = false; json = false;
+      provenance = false; timeline = false; timeline_period = Time.ms 1 }
 
-  let configure ?trace ?trace_capacity ?metrics ?json () =
+  type attachment = {
+    at_label : string;
+    at_engine : Engine.t;
+    at_timeline : Nest_sim.Timeline.t option;
+  }
+
+  let attached : attachment list ref = ref []
+
+  let configure ?trace ?trace_capacity ?metrics ?json ?provenance ?timeline
+      ?timeline_period () =
     Option.iter (fun v -> cfg.trace <- v) trace;
     Option.iter (fun v -> cfg.trace_capacity <- v) trace_capacity;
     Option.iter (fun v -> cfg.metrics <- v) metrics;
-    Option.iter (fun v -> cfg.json <- v) json
+    Option.iter (fun v -> cfg.json <- v) json;
+    Option.iter (fun v -> cfg.provenance <- v) provenance;
+    Option.iter (fun v -> cfg.timeline <- v) timeline;
+    Option.iter (fun v -> cfg.timeline_period <- v) timeline_period
 
-  let enabled () = cfg.trace || cfg.metrics
+  let enabled () = cfg.trace || cfg.metrics || cfg.provenance || cfg.timeline
+  let provenance_on () = cfg.provenance
 
-  let attach_engine engine ~label =
+  let attach_engine ?acct engine ~label =
     if enabled () then begin
       if cfg.trace && Engine.tracer engine = None then
         Engine.set_tracer engine
           (Some (Trace.create ~capacity:cfg.trace_capacity ()));
-      if not (List.exists (fun (_, e) -> e == engine) !attached) then
-        attached := !attached @ [ (label, engine) ]
+      if not (List.exists (fun a -> a.at_engine == engine) !attached) then begin
+        let at_timeline =
+          match acct with
+          | Some acct when cfg.timeline ->
+            let tl =
+              Nest_sim.Timeline.create ~period:cfg.timeline_period engine acct
+            in
+            Nest_sim.Timeline.start tl;
+            Some tl
+          | Some _ | None -> None
+        in
+        attached := !attached @ [ { at_label = label; at_engine = engine; at_timeline } ]
+      end
     end
 
-  let attach tb ~label = attach_engine tb.Testbed.engine ~label
-  let discard () = attached := []
+  let attach tb ~label =
+    attach_engine ~acct:tb.Testbed.acct tb.Testbed.engine ~label
+
+  let discard () =
+    List.iter
+      (fun a -> Option.iter Nest_sim.Timeline.stop a.at_timeline)
+      !attached;
+    attached := []
 
   let dump_text () =
     List.iter
-      (fun (label, engine) ->
+      (fun { at_label = label; at_engine = engine; at_timeline } ->
         Printf.printf "\n--- observability: %s ---\n" label;
         if cfg.metrics then begin
           print_endline "metrics:";
           Format.printf "%a@?" Metrics.pp_text (Engine.metrics engine)
         end;
+        (match at_timeline with
+        | None -> ()
+        | Some tl -> Format.printf "%a@?" Nest_sim.Timeline.pp tl);
         match Engine.tracer engine with
         | None -> ()
         | Some tr ->
@@ -67,7 +104,7 @@ module Obs = struct
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\"runs\":[";
     List.iteri
-      (fun i (label, engine) ->
+      (fun i { at_label = label; at_engine = engine; at_timeline = _ } ->
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b
           (Printf.sprintf "{\"label\":\"%s\"" (Trace.json_escape label));
@@ -81,6 +118,23 @@ module Obs = struct
       !attached;
     Buffer.add_string b "]}";
     print_endline (Buffer.contents b)
+
+  (* Everything attached so far as one Chrome trace: each run becomes a
+     trace process carrying its engine spans/instants and, when timelines
+     were sampled, per-entity CPU counter tracks. *)
+  let export_chrome () =
+    let ex = Nest_sim.Trace_export.create () in
+    List.iter
+      (fun a ->
+        let pid = Nest_sim.Trace_export.process ex ~name:a.at_label in
+        (match Engine.tracer a.at_engine with
+        | Some tr -> Nest_sim.Trace_export.add_trace ex ~pid tr
+        | None -> ());
+        match a.at_timeline with
+        | Some tl -> Nest_sim.Trace_export.add_timeline ex ~pid tl
+        | None -> ())
+      !attached;
+    ex
 
   let dump () =
     if !attached <> [] then begin
@@ -97,7 +151,12 @@ let deploy_single_sync ?(seed = 42L) ~mode ~port () =
     ~k:(fun s -> site := Some s);
   Testbed.run_until tb (Time.sec 1);
   match !site with
-  | Some s -> (tb, s)
+  | Some s ->
+    if Obs.provenance_on () then begin
+      Nest_net.Stack.set_provenance_all tb.Testbed.client_ns true;
+      Nest_net.Stack.set_provenance_all s.Deploy.site_ns true
+    end;
+    (tb, s)
   | None ->
     failwith
       ("deploy_single_sync: deployment stuck in mode "
@@ -111,7 +170,12 @@ let deploy_pair_sync ?(seed = 42L) ~mode ~port () =
     ~b_entity:"server-ctr" ~port ~k:(fun s -> site := Some s);
   Testbed.run_until tb (Time.sec 1);
   match !site with
-  | Some s -> (tb, s)
+  | Some s ->
+    if Obs.provenance_on () then begin
+      Nest_net.Stack.set_provenance_all s.Deploy.a_ns true;
+      Nest_net.Stack.set_provenance_all s.Deploy.b_ns true
+    end;
+    (tb, s)
   | None ->
     failwith
       ("deploy_pair_sync: deployment stuck in mode " ^ Modes.pair_to_string mode)
@@ -119,6 +183,70 @@ let deploy_pair_sync ?(seed = 42L) ~mode ~port () =
 let header title =
   let line = String.make (String.length title + 4) '=' in
   Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+(* --- latency provenance probes -------------------------------------- *)
+
+(* One timed UDP datagram per deployment mode, on a dedicated testbed:
+   the per-hop latency-attribution comparison the `obs` subcommand
+   prints, and the fixture the provenance tests assert against. *)
+let probe_port = 7000
+
+let provenance_probe_single ?seed ~mode () =
+  let tb, site = deploy_single_sync ?seed ~mode ~port:probe_port () in
+  let out = ref None in
+  Path_probe.udp_timed_path ~src:tb.Testbed.client_ns ~dst:site.Deploy.site_ns
+    ~dst_addr:site.Deploy.site_addr ~port:site.Deploy.site_port
+    ~k:(fun e -> out := Some e)
+    ();
+  Testbed.run_until tb (Time.sec 3);
+  match !out with
+  | Some e -> e
+  | None ->
+    failwith
+      ("provenance_probe_single: probe never delivered in mode "
+      ^ Modes.single_to_string mode)
+
+let provenance_probe_pair ?seed ~mode () =
+  let tb, site = deploy_pair_sync ?seed ~mode ~port:probe_port () in
+  let out = ref None in
+  Path_probe.udp_timed_path ~src:site.Deploy.a_ns ~dst:site.Deploy.b_ns
+    ~dst_addr:site.Deploy.b_addr ~port:site.Deploy.b_port
+    ~k:(fun e -> out := Some e)
+    ();
+  Testbed.run_until tb (Time.sec 3);
+  match !out with
+  | Some e -> e
+  | None ->
+    failwith
+      ("provenance_probe_pair: probe never delivered in mode "
+      ^ Modes.pair_to_string mode)
+
+let provenance_probes () =
+  List.map
+    (fun mode ->
+      ( "single:" ^ Modes.single_to_string mode,
+        provenance_probe_single ~mode () ))
+    [ `Nat; `Brfusion ]
+  @ List.map
+      (fun mode ->
+        ("pair:" ^ Modes.pair_to_string mode, provenance_probe_pair ~mode ()))
+      [ `Hostlo; `Overlay ]
+
+let print_attribution (label, entries) =
+  let module P = Nest_sim.Provenance in
+  header ("latency attribution: " ^ label);
+  Printf.printf "  %-32s %12s %12s %12s\n" "hop" "queue(ns)" "service(ns)"
+    "total(ns)";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-32s %12d %12d %12d\n" e.P.hop (P.queue_ns e)
+        (P.service_ns e)
+        (P.queue_ns e + P.service_ns e))
+    entries;
+  let q = List.fold_left (fun a e -> a + P.queue_ns e) 0 entries in
+  let s = List.fold_left (fun a e -> a + P.service_ns e) 0 entries in
+  Printf.printf "  %-32s %12d %12d %12d  (%d hops)\n" "TOTAL" q s (q + s)
+    (List.length entries)
 
 let row s = print_endline s
 let kv k v = Printf.printf "  %-42s %s\n" k v

@@ -17,18 +17,33 @@ val durations : quick:bool -> durations
 module Obs : sig
   val configure :
     ?trace:bool -> ?trace_capacity:int -> ?metrics:bool -> ?json:bool ->
+    ?provenance:bool -> ?timeline:bool -> ?timeline_period:Nest_sim.Time.ns ->
     unit -> unit
   (** Unspecified fields keep their previous value.  Defaults: everything
-      off, capacity 8192, text output. *)
+      off, capacity 8192, text output, 1 ms timeline period.
+      [provenance] makes the [deploy_*_sync] helpers switch per-packet
+      latency provenance on in the deployed namespaces; [timeline]
+      samples each testbed's CPU account at [timeline_period] cadence. *)
 
   val enabled : unit -> bool
-  (** True when tracing or metrics collection is on. *)
+  (** True when any collection (trace, metrics, provenance, timeline)
+      is on. *)
+
+  val provenance_on : unit -> bool
 
   val attach : Testbed.t -> label:string -> unit
   (** Registers the testbed's engine for the next [dump]; installs a
-      tracer on it when tracing is on.  No-op when nothing is enabled. *)
+      tracer on it when tracing is on, and starts a CPU timeline when
+      timelines are on.  No-op when nothing is enabled. *)
 
-  val attach_engine : Nest_sim.Engine.t -> label:string -> unit
+  val attach_engine :
+    ?acct:Nest_sim.Cpu_account.t -> Nest_sim.Engine.t -> label:string -> unit
+
+  val export_chrome : unit -> Nest_sim.Trace_export.t
+  (** Everything attached so far as one Chrome trace: each run becomes a
+      trace process carrying its engine spans/instants and, when
+      timelines were sampled, per-entity CPU counter tracks.  Does not
+      discard the attachments. *)
 
   val dump : unit -> unit
   (** Prints collected metrics/traces (text, or JSON with [json:true])
@@ -46,6 +61,24 @@ val deploy_single_sync :
 val deploy_pair_sync :
   ?seed:int64 -> mode:Modes.pair -> port:int -> unit ->
   Testbed.t * Deploy.pair_site
+
+val provenance_probe_single :
+  ?seed:int64 -> mode:Modes.single -> unit -> Nest_sim.Provenance.entry list
+(** Deploys [mode] on a fresh testbed and sends one timed UDP datagram
+    from the host client to the server site (after an ARP-warming
+    datagram), returning the per-hop latency attribution of the measured
+    one.  Raises [Failure] if the probe is never delivered. *)
+
+val provenance_probe_pair :
+  ?seed:int64 -> mode:Modes.pair -> unit -> Nest_sim.Provenance.entry list
+
+val provenance_probes :
+  unit -> (string * Nest_sim.Provenance.entry list) list
+(** The `obs` subcommand's comparison set: [`Nat], [`Brfusion],
+    [`Hostlo], [`Overlay], labelled ["single:..."] / ["pair:..."]. *)
+
+val print_attribution : string * Nest_sim.Provenance.entry list -> unit
+(** Per-hop queue/service table for one probe result. *)
 
 val header : string -> unit
 (** Prints a boxed section header. *)

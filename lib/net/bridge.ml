@@ -26,13 +26,16 @@ let input t port frame =
   end;
   let deliver_self () = Dev.deliver t.self frame in
   let out p = Dev.transmit p frame in
+  (* Flood/broadcast copies each take their own provenance branch so every
+     egress accumulates only its own downstream hops. *)
+  let out_branched p = Dev.transmit p (Frame.branch_prov frame) in
   let fresh e =
     Nest_sim.Engine.now t.engine - e.last_seen <= t.aging_ns
   in
   let forward () =
     t.forwarded <- t.forwarded + 1;
     if Mac.is_broadcast frame.Frame.dst then begin
-      List.iter (fun p -> if p != port then out p) t.port_list;
+      List.iter (fun p -> if p != port then out_branched p) t.port_list;
       if port != t.self then deliver_self ()
     end
     else if Mac.equal frame.Frame.dst t.self.Dev.mac then begin
@@ -43,14 +46,16 @@ let input t port frame =
       | Some e when fresh e -> if e.port != port then out e.port
       | Some _ | None ->
         (* Unknown destination: flood. *)
-        List.iter (fun p -> if p != port then out p) t.port_list;
+        List.iter (fun p -> if p != port then out_branched p) t.port_list;
         if port != t.self && not (Mac.equal frame.Frame.dst t.self.Dev.mac)
         then ()
     end
   in
-  Hop.service t.hop ~bytes:(Frame.len frame) forward
+  Hop.service_prov ?prov:(Frame.prov frame) t.hop ~bytes:(Frame.len frame)
+    forward
 
 let create engine ~name ~hop ?(aging_ns = Nest_sim.Time.sec 300) ~self_mac () =
+  Hop.set_name hop name;
   let self = Dev.create ~name:(name ^ "(self)") ~mac:self_mac () in
   let t =
     { engine; br_name = name; hop; aging_ns; self; port_list = [];

@@ -15,17 +15,42 @@ type t = {
   dst : Mac.t;
   body : body;
   trace : string list ref option;
+  prov : Nest_sim.Provenance.t option;
 }
 
-let make ?(traced = false) ~src ~dst body =
-  (* IP frames share the packet's trace so the path survives NAT rewrites
-     and re-framing at every L3 hop. *)
+let make ?(traced = false) ?prov ~src ~dst body =
+  (* IP frames share the packet's trace (and provenance record) so the
+     path survives NAT rewrites and re-framing at every L3 hop. *)
   let trace =
     match body with
     | Ipv4_body p when p.Packet.trace <> None -> p.Packet.trace
     | Ipv4_body _ | Arp_body _ -> if traced then Some (ref []) else None
   in
-  { src; dst; body; trace }
+  let prov =
+    match body with
+    | Ipv4_body p when p.Packet.prov <> None -> p.Packet.prov
+    | Ipv4_body _ | Arp_body _ -> prov
+  in
+  { src; dst; body; trace; prov }
+
+let prov t = t.prov
+
+(* Fork the provenance record at a fan-out point (bridge flood, tap
+   reflection, multi-remote vxlan) so each copy accumulates only its own
+   downstream hops.  The inner packet shares the frame's record, so both
+   must be rebuilt around the branched one. *)
+let branch_prov t =
+  match t.prov with
+  | None -> t
+  | Some p ->
+    let p' = Some (Nest_sim.Provenance.branch p) in
+    let body =
+      match t.body with
+      | Ipv4_body pkt when pkt.Packet.prov <> None ->
+        Ipv4_body { pkt with Packet.prov = p' }
+      | body -> body
+    in
+    { t with body; prov = p' }
 
 let eth_header_bytes = 14
 let min_frame_bytes = 60

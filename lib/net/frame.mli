@@ -24,10 +24,24 @@ type t = {
   body : body;
   trace : string list ref option;
       (** Hop names in reverse order of traversal when tracing. *)
+  prov : Nest_sim.Provenance.t option;
+      (** Latency-provenance record; shared with the inner packet's for
+          IPv4 bodies so it survives NAT rewrites and re-framing. *)
 }
 
-val make : ?traced:bool -> src:Mac.t -> dst:Mac.t -> body -> t
-(** [traced] defaults to false. *)
+val make :
+  ?traced:bool -> ?prov:Nest_sim.Provenance.t -> src:Mac.t -> dst:Mac.t ->
+  body -> t
+(** [traced] defaults to false.  For IPv4 bodies whose packet already
+    carries a trace or provenance record, the frame shares it and the
+    corresponding argument is ignored. *)
+
+val prov : t -> Nest_sim.Provenance.t option
+
+val branch_prov : t -> t
+(** Fork the provenance record at a fan-out point (bridge flood, Hostlo
+    reflection, multi-remote vxlan) so each copy accumulates only its own
+    downstream hops; the identity when the frame carries no record. *)
 
 val len : t -> int
 (** 14-byte Ethernet header + body, padded to the 60-byte minimum. *)

@@ -4,7 +4,12 @@
     Every device crossing in the simulator is a [Hop.t]: servicing a frame
     occupies the hop's {!Nest_sim.Exec.t} for [fixed_ns + per_byte_ns × len]
     nanoseconds, charging the context's CPU account.  Throughput limits and
-    queueing latency both emerge from this single mechanism. *)
+    queueing latency both emerge from this single mechanism.
+
+    Hops are also the unit of latency attribution: {!service_prov} stamps
+    an optional {!Nest_sim.Provenance.t} with (enqueue, start, end) for the
+    crossing and feeds the per-hop [hop.<name>.queue_ns] /
+    [hop.<name>.service_ns] histograms in the engine's metrics registry. *)
 
 type t = {
   exec : Nest_sim.Exec.t;
@@ -12,20 +17,50 @@ type t = {
   per_byte_ns : float;
   charge_as : Nest_sim.Cpu_account.category option;
       (** Overrides the context's default accounting category. *)
+  mutable hop_name : string;
+      (** [""] = anonymous: attribution falls back to the exec name. *)
+  mutable hists : (Nest_sim.Stats.t * Nest_sim.Stats.t) option;
+      (** Lazily resolved (queue_ns, service_ns) histograms. *)
 }
 
 val make :
   ?charge_as:Nest_sim.Cpu_account.category ->
   ?per_byte_ns:float ->
+  ?name:string ->
   Nest_sim.Exec.t ->
   fixed_ns:int ->
   t
+
+val name : t -> string
+(** The attribution name: [hop_name] if set, else the exec's name. *)
+
+val set_name : t -> string -> unit
+(** Also invalidates the cached histograms. *)
 
 val cost_ns : t -> bytes:int -> int
 
 val service : t -> bytes:int -> (unit -> unit) -> unit
 (** [service t ~bytes k] queues the work on the hop's context and runs [k]
     on completion. *)
+
+val service_prov :
+  ?prov:Nest_sim.Provenance.t ->
+  ?enq:Nest_sim.Time.ns ->
+  ?extra_ns:int ->
+  ?tail_ns:int ->
+  t ->
+  bytes:int ->
+  (unit -> unit) ->
+  unit
+(** Timed {!service}.  With [prov = None] this is exactly [service] plus
+    [extra_ns] of cost — no allocation, no clock reads.  With a record:
+    [enq] overrides the enqueue timestamp when the packet was handed off
+    strictly before this call runs (e.g. after a virtio kick delay);
+    [extra_ns] adds cost outside the hop's rate (syscall overhead, NAT
+    surcharges); [tail_ns] extends the recorded completion past the CPU
+    finish (e.g. an interrupt-notify delay) without charging CPU — the
+    continuation still runs at CPU finish, and callers scheduling a tail
+    delay themselves get it attributed here. *)
 
 val free : Nest_sim.Engine.t -> t
 (** A zero-cost hop on a private context — useful in unit tests. *)

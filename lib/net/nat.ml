@@ -1,5 +1,15 @@
 let dst_port_of pkt = match Packet.ports pkt with Some (_, d) -> d | None -> -1
 
+(* A NAT rewrite runs inside the hop that invoked the netfilter hook, so
+   its provenance mark is a zero-duration entry pinned to that hop's end
+   — it names the rewrite without claiming time (the hook's CPU cost is
+   the nat surcharge already folded into the rx/tx hop). *)
+let note_rewrite (pkt : Packet.t) name =
+  Packet.record_hop pkt ("nat:" ^ name);
+  match pkt.Packet.prov with
+  | Some p -> Nest_sim.Provenance.mark_after p ~hop:("nat:" ^ name)
+  | None -> ()
+
 let masquerade nf ct ~name ~src_subnet ?out_dev ~nat_ip () =
   let matches (ctx : Netfilter.ctx) (pkt : Packet.t) =
     Ipv4.in_subnet src_subnet pkt.Packet.src
@@ -10,7 +20,7 @@ let masquerade nf ct ~name ~src_subnet ?out_dev ~nat_ip () =
     | Some d -> ctx.Netfilter.out_dev = Some d
   in
   let action _ctx pkt =
-    Packet.record_hop pkt ("nat:" ^ name);
+    note_rewrite pkt name;
     Netfilter.Mangle (Conntrack.snat ct pkt ~to_ip:nat_ip)
   in
   Netfilter.append nf Netfilter.Postrouting { rule_name = name; matches; action }
@@ -20,7 +30,7 @@ let publish nf ct ~name ~dst_ip ~dst_port ~to_ip ~to_port =
     Ipv4.equal pkt.Packet.dst dst_ip && dst_port_of pkt = dst_port
   in
   let action _ctx pkt =
-    Packet.record_hop pkt ("nat:" ^ name);
+    note_rewrite pkt name;
     Netfilter.Mangle (Conntrack.dnat ct pkt ~to_ip ~to_port)
   in
   Netfilter.append nf Netfilter.Prerouting { rule_name = name; matches; action }

@@ -30,7 +30,16 @@ let shape engine dev ?(loss = 0.0) ?(delay_ns = 0) ?(jitter_ns = 0)
         if jitter_ns > 0 then Nest_sim.Prng.int rng (jitter_ns + 1) else 0
       in
       t.in_flight <- t.in_flight + 1;
-      Nest_sim.Engine.schedule engine ~delay:(delay_ns + extra) (fun () ->
+      let delay = delay_ns + extra in
+      (* Pure link delay: attribute it as queue-only time — the frame
+         waits but no context serves it. *)
+      (match Frame.prov frame with
+      | None -> ()
+      | Some p ->
+        let now = Nest_sim.Engine.now engine in
+        Nest_sim.Provenance.add p ~hop:(dev.Dev.name ^ ":netem")
+          ~enqueue_ns:now ~start_ns:(now + delay) ~end_ns:(now + delay));
+      Nest_sim.Engine.schedule engine ~delay (fun () ->
           t.in_flight <- t.in_flight - 1;
           t.passed <- t.passed + 1;
           t.original_tx frame)

@@ -9,16 +9,19 @@ type t = {
   ttl : int;
   transport : transport;
   trace : string list ref option;
+  prov : Nest_sim.Provenance.t option;
 }
 
-let make ?(traced = false) ~src ~dst transport =
+let make ?(traced = false) ?prov ~src ~dst transport =
   { src; dst; ttl = 64; transport;
-    trace = (if traced then Some (ref []) else None) }
+    trace = (if traced then Some (ref []) else None); prov }
 
 let hops t = match t.trace with None -> [] | Some r -> List.rev !r
 
 let record_hop t hop =
   match t.trace with None -> () | Some r -> r := hop :: !r
+
+let prov t = t.prov
 
 let ip_header_bytes = 20
 let udp_header_bytes = 8

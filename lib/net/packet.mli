@@ -16,10 +16,19 @@ type t = {
           shared across NAT rewrites and re-framing at each L3 hop, so a
           packet's full end-to-end path is observable (see
           {!Frame.record_hop}). *)
+  prov : Nest_sim.Provenance.t option;
+      (** Latency-provenance record, shared the same way as [trace]:
+          every hop that services the packet appends timed attribution
+          (see [Hop.service_prov]). *)
 }
 
-val make : ?traced:bool -> src:Ipv4.t -> dst:Ipv4.t -> transport -> t
-(** TTL defaults to 64; [traced] (default false) attaches a hop trace. *)
+val make :
+  ?traced:bool -> ?prov:Nest_sim.Provenance.t -> src:Ipv4.t -> dst:Ipv4.t ->
+  transport -> t
+(** TTL defaults to 64; [traced] (default false) attaches a hop trace;
+    [prov] attaches a latency-provenance record. *)
+
+val prov : t -> Nest_sim.Provenance.t option
 
 val hops : t -> string list
 (** Hops in traversal order; [] when untraced. *)

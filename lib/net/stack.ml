@@ -112,6 +112,7 @@ and ns = {
   mutable next_icmp_id : int;
   mutable fwd : bool;
   mutable trace_all : bool;
+  mutable prov_all : bool;
   cnt : ns_counters;
   mutable lo : Dev.t option;
   mutable observer : (Packet.t -> unit) option;
@@ -169,6 +170,12 @@ let find_dev ns n = List.find_opt (fun d -> d.Dev.name = n) ns.devs
 let addrs ns = ns.addr_list
 let set_ip_forward ns b = ns.fwd <- b
 let set_trace_all ns b = ns.trace_all <- b
+let set_provenance_all ns b = ns.prov_all <- b
+
+(* Latency-provenance record for a packet originating in this namespace;
+   [None] (the free path) unless provenance is switched on. *)
+let fresh_prov ns =
+  if ns.prov_all then Some (Nest_sim.Provenance.create ()) else None
 let set_observer ns f = ns.observer <- f
 let loopback_dev ns = ns.lo
 
@@ -335,7 +342,8 @@ let transmit_via ns ~(dev : Dev.t) ~next_hop pkt =
     arp_resolve ns dev next_hop (fun mac -> send_ip_frame ns dev ~dst_mac:mac pkt)
 
 let deliver_locally ns pkt =
-  Hop.service ns.cs.local ~bytes:(Packet.len pkt) (fun () ->
+  Hop.service_prov ?prov:(Packet.prov pkt) ns.cs.local
+    ~bytes:(Packet.len pkt) (fun () ->
       (match ns.lo with
       | Some lo ->
         Packet.record_hop pkt lo.Dev.name;
@@ -378,16 +386,14 @@ let tcp_make_segment c ~flags ~seq ~len ~msgs =
     { Tcp_wire.src_port = c.c_local_port; dst_port = c.c_remote_port; seq;
       ack_seq = c.rcv_nxt; flags; window = rcvwnd_default; len; msgs }
   in
-  Packet.make ~traced:c.c_ns.trace_all ~src:c.c_local_ip ~dst:c.c_remote_ip
+  Packet.make ~traced:c.c_ns.trace_all ?prov:(fresh_prov c.c_ns)
+    ~src:c.c_local_ip ~dst:c.c_remote_ip
     (Packet.Tcp { seg; payload = Payload.raw len })
 
 let tcp_xmit c pkt =
   c.pending_ack_segs <- 0;
-  let bytes = Packet.len pkt in
-  let cost_extra = nat_surcharge c.c_ns in
-  let hop = c.c_ns.cs.tx in
-  Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec
-    ~cost:(Hop.cost_ns hop ~bytes + cost_extra)
+  Hop.service_prov ?prov:(Packet.prov pkt)
+    ~extra_ns:(nat_surcharge c.c_ns) c.c_ns.cs.tx ~bytes:(Packet.len pkt)
     (fun () -> ip_output c.c_ns pkt)
 
 let flags_ack = { Tcp_wire.flags_none with Tcp_wire.ack = true }
@@ -684,7 +690,8 @@ let tcp_send_rst ns (pkt : Packet.t) (seg : Tcp_wire.t) =
       window = 0; len = 0; msgs = [] }
   in
   ip_output ns
-    (Packet.make ~traced:ns.trace_all ~src:pkt.Packet.dst ~dst:pkt.Packet.src
+    (Packet.make ~traced:ns.trace_all ?prov:(fresh_prov ns)
+       ~src:pkt.Packet.dst ~dst:pkt.Packet.src
        (Packet.Tcp { seg = rst; payload = Payload.raw 0 }))
 
 let tcp_input ns (in_dev : Dev.t option) (pkt : Packet.t) (seg : Tcp_wire.t) =
@@ -739,7 +746,8 @@ let icmp_input ns (pkt : Packet.t) ~id ~seq ~reply =
   else begin
     note_delivered ns;
     let echo =
-      Packet.make ~traced:ns.trace_all ~src:pkt.Packet.dst ~dst:pkt.Packet.src
+      Packet.make ~traced:ns.trace_all ?prov:(fresh_prov ns)
+        ~src:pkt.Packet.dst ~dst:pkt.Packet.src
         (Packet.Icmp_echo { id; seq; reply = true })
     in
     ip_output ns echo
@@ -799,7 +807,8 @@ let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
           | None -> note_drop ns `No_route
           | Some e ->
             ns.cnt.forwarded_pkts <- ns.cnt.forwarded_pkts + 1;
-            Hop.service ns.cs.forward ~bytes:(Packet.len pkt) (fun () ->
+            Hop.service_prov ?prov:(Packet.prov pkt) ns.cs.forward
+              ~bytes:(Packet.len pkt) (fun () ->
                 transmit_via ns ~dev:e.Route.dev
                   ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)))
     end
@@ -818,11 +827,8 @@ let dev_rx ns dev frame =
       Hop.service ns.cs.rx ~bytes:(Frame.len frame) (fun () ->
           arp_input ns dev a)
     | Frame.Ipv4_body pkt ->
-      let hop = ns.cs.rx in
-      let cost =
-        Hop.cost_ns hop ~bytes:(Frame.len frame) + nat_surcharge ns
-      in
-      Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec ~cost
+      Hop.service_prov ?prov:(Frame.prov frame) ~extra_ns:(nat_surcharge ns)
+        ns.cs.rx ~bytes:(Frame.len frame)
         (fun () -> ip_input ns dev pkt)
   end
 
@@ -856,9 +862,17 @@ let create engine ~name ~costs ?(with_loopback = true) () =
       arp_waiting = Hashtbl.create 4; udp_binds = Hashtbl.create 16;
       listeners = Hashtbl.create 8; conns = Hashtbl.create 32;
       icmp_waiters = Hashtbl.create 4; next_eph = ephemeral_base;
-      next_icmp_id = 1; fwd = false; trace_all = false; cnt; lo = None;
-      observer = None; ns_rng = Nest_sim.Prng.split (Engine.rng engine) }
+      next_icmp_id = 1; fwd = false; trace_all = false; prov_all = false;
+      cnt; lo = None; observer = None;
+      ns_rng = Nest_sim.Prng.split (Engine.rng engine) }
   in
+  (* Each namespace owns its costs record (Kernel_costs.stack_costs builds
+     fresh hops per call), so its hops can carry attribution names. *)
+  Hop.set_name costs.tx (name ^ ":tx");
+  Hop.set_name costs.rx (name ^ ":rx");
+  Hop.set_name costs.forward (name ^ ":fwd");
+  Hop.set_name costs.local (name ^ ":lo");
+  Hop.set_name costs.syscall (name ^ ":syscall");
   if with_loopback then begin
     let lo =
       Dev.create ~mtu:loopback_mtu ~name:(name ^ ":lo") ~mac:(Mac.of_int 0) ()
@@ -902,19 +916,20 @@ module Udp = struct
     Hashtbl.replace ns.udp_binds port s;
     s
 
-  let sendto s ~dst ~dst_port payload =
+  let sendto ?prov s ~dst ~dst_port payload =
     let ns = s.u_ns in
     let src = src_for ns dst in
+    (* [prov] lets a tunnel (vxlan) thread the inner frame's record onto
+       the outer datagram; otherwise a record is minted when the
+       namespace has provenance enabled. *)
+    let prov = match prov with Some _ as p -> p | None -> fresh_prov ns in
     let pkt =
-      Packet.make ~traced:ns.trace_all ~src ~dst
+      Packet.make ~traced:ns.trace_all ?prov ~src ~dst
         (Packet.Udp { src_port = s.u_port; dst_port; payload })
     in
-    let hop = ns.cs.tx in
-    let cost =
-      Hop.cost_ns hop ~bytes:(Packet.len pkt)
-      + ns.cs.syscall.Hop.fixed_ns + nat_surcharge ns
-    in
-    Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec ~cost
+    Hop.service_prov ?prov:(Packet.prov pkt)
+      ~extra_ns:(ns.cs.syscall.Hop.fixed_ns + nat_surcharge ns) ns.cs.tx
+      ~bytes:(Packet.len pkt)
       (fun () -> ip_output ns pkt)
 
   let close s =
@@ -966,10 +981,7 @@ module Tcp = struct
       (match msg with
       | Some m -> Queue.push (c.send_off, m) c.tx_boundaries
       | None -> ());
-      let hop = c.c_ns.cs.syscall in
-      Nest_sim.Exec.submit ?charge_as:hop.Hop.charge_as hop.Hop.exec
-        ~cost:(Hop.cost_ns hop ~bytes:size)
-        (fun () -> tcp_pump c);
+      Hop.service c.c_ns.cs.syscall ~bytes:size (fun () -> tcp_pump c);
       true
     end
 
@@ -1008,7 +1020,9 @@ let ping ns ~dst ~on_reply =
   ns.next_icmp_id <- ns.next_icmp_id + 1;
   Hashtbl.replace ns.icmp_waiters id (Engine.now ns.eng, on_reply);
   let pkt =
-    Packet.make ~traced:ns.trace_all ~src:(src_for ns dst) ~dst
+    Packet.make ~traced:ns.trace_all ?prov:(fresh_prov ns)
+      ~src:(src_for ns dst) ~dst
       (Packet.Icmp_echo { id; seq = 1; reply = false })
   in
-  Hop.service ns.cs.tx ~bytes:(Packet.len pkt) (fun () -> ip_output ns pkt)
+  Hop.service_prov ?prov:(Packet.prov pkt) ns.cs.tx ~bytes:(Packet.len pkt)
+    (fun () -> ip_output ns pkt)

@@ -78,6 +78,13 @@ val set_trace_all : ns -> bool -> unit
 (** When set, every frame originated by this namespace carries a hop
     trace (see {!Frame.hops}). *)
 
+val set_provenance_all : ns -> bool -> unit
+(** When set, every packet originated by this namespace carries a
+    latency-provenance record (see {!Nest_sim.Provenance}): each hop on
+    its path appends timed queue/service attribution and feeds the
+    per-hop [hop.<name>.queue_ns] / [hop.<name>.service_ns] histograms.
+    Off (the default), the datapath pays nothing. *)
+
 val arp_cache : ns -> (Ipv4.t * Mac.t) list
 
 val set_observer : ns -> (Packet.t -> unit) option -> unit
@@ -100,7 +107,14 @@ module Udp : sig
       [kernel] (default false) marks in-kernel consumers (e.g. a VXLAN
       VTEP) whose delivery skips the application wakeup delay. *)
 
-  val sendto : sock -> dst:Ipv4.t -> dst_port:int -> Payload.t -> unit
+  val sendto :
+    ?prov:Nest_sim.Provenance.t -> sock -> dst:Ipv4.t -> dst_port:int ->
+    Payload.t -> unit
+  (** [prov] forces a specific provenance record onto the datagram — a
+      tunnel threads the inner frame's record onto the outer packet this
+      way; by default a record is minted iff {!set_provenance_all} is
+      on. *)
+
   val close : sock -> unit
   val port : sock -> int
   val ns_of : sock -> ns

@@ -32,9 +32,12 @@ let host_input t frame =
   | q :: _ -> (
     match q.backend with
     | None -> ()
-    | Some backend -> Hop.service t.hop ~bytes:(Frame.len frame) (fun () -> backend frame))
+    | Some backend ->
+      Hop.service_prov ?prov:(Frame.prov frame) t.hop
+        ~bytes:(Frame.len frame) (fun () -> backend frame))
 
 let create engine ~name ~mode ~hop ?(per_queue_ns = 0) ~mac () =
+  Hop.set_name hop name;
   let host_side = Dev.create ~name ~mac () in
   let t =
     { tap_name = name; tap_mode = mode; engine; hop; per_queue_ns; host_side;
@@ -71,11 +74,12 @@ let queue_write q frame =
   | Normal ->
     (* Guest -> host side: the frame enters whatever the host attached
        (bridge port input), after the tap's processing cost. *)
-    Hop.service t.hop ~bytes:(Frame.len frame) (fun () ->
-        Dev.deliver t.host_side frame)
+    Hop.service_prov ?prov:(Frame.prov frame) t.hop ~bytes:(Frame.len frame)
+      (fun () -> Dev.deliver t.host_side frame)
   | Loopback ->
     (* §4.2: "it sends back any received Ethernet frame to all of its
-       queues" — including the originating one. *)
+       queues" — including the originating one.  Each reflected copy takes
+       its own provenance branch. *)
     let deliver_all () =
       List.iter
         (fun q' ->
@@ -83,14 +87,11 @@ let queue_write q frame =
           | None -> ()
           | Some backend ->
             t.reflected <- t.reflected + 1;
-            backend frame)
+            backend (Frame.branch_prov frame))
         t.queue_list
     in
-    let cost =
-      Hop.cost_ns t.hop ~bytes:(Frame.len frame)
-      + (t.per_queue_ns * List.length t.queue_list)
-    in
-    Nest_sim.Exec.submit ?charge_as:t.hop.Hop.charge_as t.hop.Hop.exec ~cost
-      deliver_all
+    Hop.service_prov ?prov:(Frame.prov frame)
+      ~extra_ns:(t.per_queue_ns * List.length t.queue_list) t.hop
+      ~bytes:(Frame.len frame) deliver_all
 
 let reflected t = t.reflected

@@ -29,8 +29,8 @@ let decap t (payload : Payload.t) =
     Frame.record_hop inner (t.vtep_name ^ ":decap");
     Nest_sim.Engine.trace_instant (Stack.engine t.underlay) ~cat:"hop"
       ~name:(t.vtep_name ^ ":decap") ();
-    Hop.service t.decap_hop ~bytes:(Frame.len inner) (fun () ->
-        Dev.deliver t.overlay_dev inner)
+    Hop.service_prov ?prov:(Frame.prov inner) t.decap_hop
+      ~bytes:(Frame.len inner) (fun () -> Dev.deliver t.overlay_dev inner)
   | Some _ | None -> ()
 
 let encap t (inner : Frame.t) =
@@ -50,17 +50,30 @@ let encap t (inner : Frame.t) =
       Payload.make ~size:(Frame.len inner + vxlan_header_bytes)
         (Vxlan_encap inner)
     in
-    Hop.service t.encap_hop ~bytes:(Frame.len inner) (fun () ->
+    let single = match targets with [ _ ] -> true | _ -> false in
+    Hop.service_prov ?prov:(Frame.prov inner) t.encap_hop
+      ~bytes:(Frame.len inner) (fun () ->
         List.iter
           (fun remote ->
             t.encapsulated <- t.encapsulated + 1;
-            Stack.Udp.sendto t.sock ~dst:remote ~dst_port:t.udp_port payload)
+            (* Thread the inner frame's provenance onto the outer
+               datagram so underlay hops attribute to the same record;
+               multicast replication branches it per remote. *)
+            let prov =
+              match Frame.prov inner with
+              | Some p when not single -> Some (Nest_sim.Provenance.branch p)
+              | p -> p
+            in
+            Stack.Udp.sendto ?prov t.sock ~dst:remote ~dst_port:t.udp_port
+              payload)
           targets)
   end
 
 let create underlay ~name ~vni ~local ?(udp_port = default_port) ~encap_hop
     ~decap_hop () =
   ignore local;
+  Hop.set_name encap_hop (name ^ ":encap");
+  Hop.set_name decap_hop (name ^ ":decap");
   let overlay_dev =
     Dev.create ~mtu:overlay_mtu ~name:(name ^ ".vtep")
       ~mac:(Mac.of_int (0x0242000000 lor (vni land 0xffffff)))

@@ -12,6 +12,9 @@ type category = Usr | Sys | Soft | Guest | Irq
 val category_to_string : category -> string
 val all_categories : category list
 
+val category_index : category -> int
+(** Stable dense index in [0, 4], in {!all_categories} order. *)
+
 type t
 
 val create : unit -> t

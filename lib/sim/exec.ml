@@ -21,7 +21,10 @@ let min_slot t =
   Array.iteri (fun i v -> if v < t.slots.(!best) then best := i) t.slots;
   !best
 
-let submit ?charge_as t ~cost k =
+(* Core submission path.  Returns the completion time so callers that
+   need timing (latency provenance) can recover [start = finish - cost]
+   without any allocation on the common path. *)
+let submit_timed ?charge_as t ~cost k =
   let cost = max 0 cost in
   let now = Engine.now t.engine in
   let slot = min_slot t in
@@ -47,7 +50,13 @@ let submit ?charge_as t ~cost k =
   List.iter
     (fun (acct, entity, cat) -> Cpu_account.charge acct ~entity cat cost)
     t.also;
-  Engine.schedule_at t.engine ~label:t.exec_name ~at:finish k
+  Engine.schedule_at t.engine ~label:t.exec_name ~at:finish k;
+  finish
+
+let submit ?charge_as t ~cost k =
+  ignore (submit_timed ?charge_as t ~cost k : Time.ns)
+
+let engine t = t.engine
 
 let busy_until t = t.slots.(min_slot t)
 let busy_ns t = t.busy_ns

@@ -39,6 +39,15 @@ val submit : ?charge_as:Cpu_account.category -> t -> cost:Time.ns -> (unit -> un
 (** [submit t ~cost k] enqueues a work item needing [cost] ns of service;
     [k] runs at completion. *)
 
+val submit_timed :
+  ?charge_as:Cpu_account.category -> t -> cost:Time.ns -> (unit -> unit) ->
+  Time.ns
+(** Like {!submit}, but returns the completion date, from which callers
+    needing latency attribution recover [start = finish - cost].  The
+    common path pays nothing extra for it. *)
+
+val engine : t -> Engine.t
+
 val busy_until : t -> Time.ns
 (** Earliest date a slot of this context frees up. *)
 

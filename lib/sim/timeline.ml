@@ -1,0 +1,84 @@
+(* CPU-accounting timelines.
+
+   [Cpu_account] holds end-of-run totals per (entity, category) — the
+   paper's Fig. 6 bars.  A [Timeline] samples those totals at a fixed
+   sim-time cadence while the engine runs, turning them into time series:
+   where each nanosecond of usr/sys/soft/guest time was spent *when*, not
+   just in aggregate.
+
+   The sampler reschedules itself every [period] until [stop]ped, so it
+   must be driven with [Engine.run ~until] (as every experiment does);
+   under a plain [Engine.run] it would keep the queue non-empty. *)
+
+type tick = {
+  tick_ts : Time.ns;
+  snap : (string * (Cpu_account.category * int) list) list;
+      (* cumulative ns per (entity, category) at [tick_ts] *)
+}
+
+type t = {
+  engine : Engine.t;
+  acct : Cpu_account.t;
+  period : Time.ns;
+  mutable ticks_rev : tick list;
+  mutable running : bool;
+  mutable stopped : bool;
+}
+
+let create ?(period = Time.ms 1) engine acct =
+  if period <= 0 then invalid_arg "Timeline.create: period must be > 0";
+  { engine; acct; period; ticks_rev = []; running = false; stopped = false }
+
+let rec tick t () =
+  if not t.stopped then begin
+    t.ticks_rev <-
+      { tick_ts = Engine.now t.engine; snap = Cpu_account.snapshot t.acct }
+      :: t.ticks_rev;
+    Engine.schedule t.engine ~label:"timeline" ~delay:t.period (tick t)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Engine.schedule t.engine ~label:"timeline" ~delay:0 (tick t)
+  end
+
+let stop t = t.stopped <- true
+
+let period t = t.period
+let sample_count t = List.length t.ticks_rev
+let ticks t = List.rev t.ticks_rev
+
+let entities t =
+  List.concat_map (fun tk -> List.map fst tk.snap) t.ticks_rev
+  |> List.sort_uniq compare
+
+(* Cumulative busy-ns samples for one (entity, category), oldest first.
+   Entities appear in the account only once charged, so early ticks may
+   lack them; those read as 0. *)
+let series t ~entity cat =
+  List.rev_map
+    (fun tk ->
+      let v =
+        match List.assoc_opt entity tk.snap with
+        | None -> 0
+        | Some cats -> Option.value (List.assoc_opt cat cats) ~default:0
+      in
+      (tk.tick_ts, v))
+    t.ticks_rev
+
+let pp fmt t =
+  Format.fprintf fmt "timeline: %d samples every %a@." (sample_count t)
+    Time.pp t.period;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-24s" e;
+      List.iter
+        (fun c ->
+          let s = series t ~entity:e c in
+          let last = match List.rev s with (_, v) :: _ -> v | [] -> 0 in
+          Format.fprintf fmt " %s=%a" (Cpu_account.category_to_string c)
+            Time.pp last)
+        Cpu_account.all_categories;
+      Format.pp_print_newline fmt ())
+    (entities t)

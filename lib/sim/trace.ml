@@ -33,6 +33,17 @@ let span_end t ~ts ~cat ~name ?arg () = record t ~ts Span_end ~cat ~name ?arg ()
 
 let retained t = min t.total (Array.length t.buf)
 
+(* Visit retained events oldest-first without materialising a list —
+   dumping an 8192-event ring should not allocate an intermediate
+   structure per event. *)
+let iter t f =
+  let cap = Array.length t.buf in
+  let n = retained t in
+  let first = t.total - n in
+  for i = 0 to n - 1 do
+    f t.buf.((first + i) mod cap)
+  done
+
 let events t =
   let cap = Array.length t.buf in
   let n = retained t in
@@ -45,12 +56,10 @@ let clear t =
 
 let by_name t =
   let counts = Hashtbl.create 32 in
-  List.iter
-    (fun e ->
+  iter t (fun e ->
       let key = e.cat ^ ":" ^ e.name in
       Hashtbl.replace counts key
-        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
-    (events t);
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0));
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort compare
 
@@ -65,16 +74,16 @@ let pp_event fmt e =
     (if e.arg = "" then "" else " " ^ e.arg)
 
 let pp_text ?limit fmt t =
-  let evs = events t in
-  let n = List.length evs in
+  let n = retained t in
   let limit = Option.value limit ~default:n in
   let skipped = max 0 (n - limit) in
   Format.fprintf fmt "trace: %d recorded, %d in ring, %d dropped@."
     t.total n (dropped t);
   if skipped > 0 then Format.fprintf fmt "  … %d earlier events elided@." skipped;
-  List.iteri
-    (fun i e -> if i >= skipped then Format.fprintf fmt "  %a@." pp_event e)
-    evs
+  let i = ref 0 in
+  iter t (fun e ->
+      if !i >= skipped then Format.fprintf fmt "  %a@." pp_event e;
+      incr i)
 
 (* Minimal JSON string escaping: the names used here are plain
    identifiers, but args are free-form. *)
@@ -98,13 +107,13 @@ let to_json t =
   Buffer.add_string b
     (Printf.sprintf "{\"capacity\":%d,\"recorded\":%d,\"dropped\":%d,\"events\":["
        (capacity t) t.total (dropped t));
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_char b ',';
+  let i = ref 0 in
+  iter t (fun e ->
+      if !i > 0 then Buffer.add_char b ',';
+      incr i;
       Buffer.add_string b
         (Printf.sprintf "{\"ts\":%d,\"kind\":\"%s\",\"cat\":\"%s\",\"name\":\"%s\",\"arg\":\"%s\"}"
            e.ts (kind_string e.kind) (json_escape e.cat) (json_escape e.name)
-           (json_escape e.arg)))
-    (events t);
+           (json_escape e.arg)));
   Buffer.add_string b "]}";
   Buffer.contents b

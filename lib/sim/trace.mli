@@ -44,6 +44,11 @@ val span_end :
 val events : t -> event list
 (** Retained events, oldest first. *)
 
+val iter : t -> (event -> unit) -> unit
+(** [iter t f] applies [f] to every retained event, oldest first, without
+    materialising a list.  Exporters and dumpers should prefer this over
+    {!events}. *)
+
 val recorded : t -> int
 (** Total events ever recorded (monotonic). *)
 
