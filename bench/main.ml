@@ -155,7 +155,9 @@ let run_micro () =
         in
         fun acc -> (name, est) :: acc)
       results []
-    |> List.sort compare
+    (* Sort on the name alone: the estimate is a float that can be NaN,
+       and polymorphic compare over a NaN pair is unordered garbage. *)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Printf.printf "%-42s %16s\n" "kernel" "time/run";
   List.iter
@@ -167,7 +169,8 @@ let run_micro () =
         else Printf.sprintf "%10.0f ns" ns
       in
       Printf.printf "%-42s %16s\n" name human)
-    rows
+    rows;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Observability overhead: the same netperf kernel at three collection
@@ -208,18 +211,119 @@ let run_overhead () =
   Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n" "tracing+metrics" (tm *. 1e3)
     (overhead tm);
   Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n" "tracing+metrics+provenance"
-    (tmp *. 1e3) (overhead tmp)
+    (tmp *. 1e3) (overhead tmp);
+  (off, tm, tmp)
+
+(* ------------------------------------------------------------------ *)
+(* Domain fan-out: the same cell sweep at jobs=1 and jobs=N, with a
+   result-identity check — parallelism must only change wall-clock. *)
+
+type jobs_scaling = {
+  js_jobs : int;
+  js_serial_s : float;
+  js_parallel_s : float;
+  js_identical : bool;
+}
+
+let run_jobs_scaling ~jobs () =
+  print_newline ();
+  Printf.printf "== Domain fan-out (netperf cell sweep, jobs=1 vs jobs=%d) ==\n"
+    jobs;
+  let sizes = [ 64; 1024; 4096; 16384 ] in
+  let timed ~j =
+    Exp_util.Par.set_jobs j;
+    let t0 = Unix.gettimeofday () in
+    let pts = Fig_netperf.sweep_single ~quick:true ~mode:`Nat ~sizes in
+    (Unix.gettimeofday () -. t0, pts)
+  in
+  let serial_s, p1 = timed ~j:1 in
+  let parallel_s, pn = timed ~j:jobs in
+  Exp_util.Par.set_jobs jobs;
+  let identical = p1 = pn in
+  Printf.printf "%-42s %10.2f s\n" "jobs=1" serial_s;
+  Printf.printf "%-42s %10.2f s  (%.2fx)\n"
+    (Printf.sprintf "jobs=%d" jobs)
+    parallel_s
+    (if parallel_s > 0.0 then serial_s /. parallel_s else 0.0);
+  Printf.printf "%-42s %s\n" "results identical"
+    (if identical then "yes" else "NO — DETERMINISM VIOLATION");
+  { js_jobs = jobs; js_serial_s = serial_s; js_parallel_s = parallel_s;
+    js_identical = identical }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json PATH): micro rows, observability
+   overhead and fan-out scaling as one BENCH_*.json document. *)
+
+let write_json ~path ~rows ~overhead ~scaling =
+  let esc = Nest_sim.Trace.json_escape in
+  let b = Buffer.create 4096 in
+  let fl v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  Buffer.add_string b "{\n  \"schema\": \"nestsim-bench/1\",\n";
+  Buffer.add_string b "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n"
+           (esc name) (fl ns)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  (match overhead with
+  | None -> ()
+  | Some (off, tm, tmp) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"observability_overhead_ms\": {\"disabled\": %s, \
+          \"trace_metrics\": %s, \"trace_metrics_provenance\": %s},\n"
+         (fl (off *. 1e3)) (fl (tm *. 1e3)) (fl (tmp *. 1e3))));
+  (match scaling with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"jobs_scaling\": {\"jobs\": %d, \"serial_s\": %s, \
+          \"parallel_s\": %s, \"speedup\": %s, \"identical\": %b},\n"
+         s.js_jobs (fl s.js_serial_s) (fl s.js_parallel_s)
+         (fl
+            (if s.js_parallel_s > 0.0 then s.js_serial_s /. s.js_parallel_s
+             else 0.0))
+         s.js_identical));
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_cores\": %d\n}\n"
+       (Nest_sim.Domain_pool.recommended_jobs ()));
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+let usage () =
+  prerr_endline
+    "usage: bench [--quick] [--micro-only] [--jobs N] [--json PATH] \
+     [EXPERIMENT...]";
+  exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let micro_only = List.mem "--micro-only" args in
-  let ids =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  let jobs = ref 1 and json = ref None in
+  let quick = ref false and micro_only = ref false in
+  let rec parse ids = function
+    | [] -> List.rev ids
+    | "--quick" :: rest -> quick := true; parse ids rest
+    | "--micro-only" :: rest -> micro_only := true; parse ids rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j > 0 -> jobs := j; parse ids rest
+      | _ -> usage ())
+    | "--json" :: path :: rest -> json := Some path; parse ids rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
+    | a :: rest -> parse (a :: ids) rest
   in
+  let ids = parse [] args in
+  let quick = !quick and micro_only = !micro_only and jobs = !jobs in
+  Exp_util.Par.set_jobs jobs;
   if not micro_only then begin
     match ids with
-    | [] -> Registry.run_all ~quick
+    | [] -> Registry.run_all ~jobs ~quick ()
     | ids ->
       List.iter
         (fun id ->
@@ -228,7 +332,13 @@ let () =
           | None -> Printf.eprintf "bench: unknown experiment %S (skipped)\n" id)
         ids
   end;
-  run_micro ();
-  run_overhead ();
+  let rows = run_micro () in
+  let overhead = Some (run_overhead ()) in
+  let scaling =
+    if jobs > 1 then Some (run_jobs_scaling ~jobs ()) else None
+  in
+  (match !json with
+  | None -> ()
+  | Some path -> write_json ~path ~rows ~overhead ~scaling);
   print_newline ();
   print_endline "bench: done."

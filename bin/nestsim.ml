@@ -16,16 +16,21 @@ let list_cmd () =
         e.Nest_experiments.Registry.description)
     (Nest_experiments.Registry.all @ Nest_experiments.Registry.ablations)
 
-let run_cmd ids quick trace metrics obs_json trace_capacity =
+let run_cmd ids quick jobs trace metrics obs_json trace_capacity =
   if trace_capacity <= 0 then begin
     Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
       trace_capacity;
     exit 1
   end;
+  if jobs <= 0 then begin
+    Printf.eprintf "nestsim: --jobs must be positive (got %d)\n" jobs;
+    exit 1
+  end;
   Nest_experiments.Exp_util.Obs.configure ~trace ~metrics ~json:obs_json
     ~trace_capacity ();
+  Nest_experiments.Exp_util.Par.set_jobs jobs;
   (match ids with
-  | [ "all" ] | [] -> Nest_experiments.Registry.run_all ~quick
+  | [ "all" ] | [] -> Nest_experiments.Registry.run_all ~jobs ~quick ()
   | [ "ablations" ] ->
     List.iter
       (fun e -> e.Nest_experiments.Registry.run ~quick)
@@ -130,6 +135,13 @@ open Cmdliner
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorter measurement windows.")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Fan independent experiment cells (one testbed + workload \
+                 each) across $(docv) domains.  Results are identical for \
+                 any value; only wall-clock time changes.")
+
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiment ids (fig2..fig15, table1, table2) or 'all'.")
@@ -160,8 +172,8 @@ let run_term =
   let doc = "Run experiments (default: all)." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_cmd $ ids $ quick $ trace_flag $ metrics_flag $ obs_json
-      $ trace_capacity)
+      const run_cmd $ ids $ quick $ jobs $ trace_flag $ metrics_flag
+      $ obs_json $ trace_capacity)
 
 let list_term =
   let doc = "List available experiments." in

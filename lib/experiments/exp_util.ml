@@ -35,7 +35,16 @@ module Obs = struct
     at_timeline : Nest_sim.Timeline.t option;
   }
 
+  (* Newest-first; reversed to attachment order wherever it is
+     presented.  Prepending keeps [attach_engine] O(1) — the old
+     append-per-attach made a long experiment batch quadratic in the
+     number of runs. *)
   let attached : attachment list ref = ref []
+  let attached_mu = Mutex.create ()
+
+  let locked f =
+    Mutex.lock attached_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock attached_mu) f
 
   let configure ?trace ?trace_capacity ?metrics ?json ?provenance ?timeline
       ?timeline_period () =
@@ -55,29 +64,35 @@ module Obs = struct
       if cfg.trace && Engine.tracer engine = None then
         Engine.set_tracer engine
           (Some (Trace.create ~capacity:cfg.trace_capacity ()));
-      if not (List.exists (fun a -> a.at_engine == engine) !attached) then begin
-        let at_timeline =
-          match acct with
-          | Some acct when cfg.timeline ->
-            let tl =
-              Nest_sim.Timeline.create ~period:cfg.timeline_period engine acct
+      locked (fun () ->
+          if not (List.exists (fun a -> a.at_engine == engine) !attached)
+          then begin
+            let at_timeline =
+              match acct with
+              | Some acct when cfg.timeline ->
+                let tl =
+                  Nest_sim.Timeline.create ~period:cfg.timeline_period engine
+                    acct
+                in
+                Nest_sim.Timeline.start tl;
+                Some tl
+              | Some _ | None -> None
             in
-            Nest_sim.Timeline.start tl;
-            Some tl
-          | Some _ | None -> None
-        in
-        attached := !attached @ [ { at_label = label; at_engine = engine; at_timeline } ]
-      end
+            attached :=
+              { at_label = label; at_engine = engine; at_timeline }
+              :: !attached
+          end)
     end
 
   let attach tb ~label =
     attach_engine ~acct:tb.Testbed.acct tb.Testbed.engine ~label
 
   let discard () =
-    List.iter
-      (fun a -> Option.iter Nest_sim.Timeline.stop a.at_timeline)
-      !attached;
-    attached := []
+    locked (fun () ->
+        List.iter
+          (fun a -> Option.iter Nest_sim.Timeline.stop a.at_timeline)
+          !attached;
+        attached := [])
 
   let dump_text () =
     List.iter
@@ -98,7 +113,7 @@ module Obs = struct
             (fun (name, n) -> Printf.printf "  %-40s %d\n" name n)
             (Trace.by_name tr);
           Format.printf "%a@?" (Trace.pp_text ~limit:40) tr)
-      !attached
+      (List.rev !attached)
 
   let dump_json () =
     let b = Buffer.create 4096 in
@@ -115,7 +130,7 @@ module Obs = struct
         | None -> ()
         | Some tr -> Buffer.add_string b (",\"trace\":" ^ Trace.to_json tr));
         Buffer.add_char b '}')
-      !attached;
+      (List.rev !attached);
     Buffer.add_string b "]}";
     print_endline (Buffer.contents b)
 
@@ -133,7 +148,7 @@ module Obs = struct
         match a.at_timeline with
         | Some tl -> Nest_sim.Trace_export.add_timeline ex ~pid tl
         | None -> ())
-      !attached;
+      (List.rev !attached);
     ex
 
   let dump () =
@@ -141,6 +156,20 @@ module Obs = struct
       if cfg.json then dump_json () else dump_text ()
     end;
     discard ()
+end
+
+module Par = struct
+  let jobs = ref 1
+  let set_jobs n = jobs := max 1 n
+  let get_jobs () = !jobs
+
+  (* Observability attachments are dumped in attachment order, and that
+     order is what run scripts diff against — so an observed batch runs
+     sequentially even when [jobs] allows fan-out.  Each cell is
+     deterministic either way; parallelism only changes wall-clock. *)
+  let effective_jobs () = if Obs.enabled () then 1 else !jobs
+
+  let map f xs = Nest_sim.Domain_pool.map ~jobs:(effective_jobs ()) f xs
 end
 
 let deploy_single_sync ?(seed = 42L) ~mode ~port () =

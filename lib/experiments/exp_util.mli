@@ -53,6 +53,25 @@ module Obs : sig
   (** Forgets attached engines without printing. *)
 end
 
+(** Cell-level parallelism for the experiment drivers.
+
+    An experiment "cell" is one fresh testbed plus its workload —
+    self-contained and deterministic, so independent cells can run on
+    separate domains.  Figures fan their cells through {!Par.map};
+    [run --jobs N] / [bench --jobs N] set the width. *)
+module Par : sig
+  val set_jobs : int -> unit
+  (** Clamps to ≥ 1.  Default 1 (fully sequential). *)
+
+  val get_jobs : unit -> int
+
+  val map : ('a -> 'b) -> 'a list -> 'b list
+  (** [List.map] over up to [get_jobs ()] domains (order-preserving; see
+      {!Nest_sim.Domain_pool.map}).  Falls back to sequential while
+      {!Obs.enabled} — observability dumps are ordered by attachment,
+      which scripted runs diff against. *)
+end
+
 val deploy_single_sync :
   ?seed:int64 -> mode:Modes.single -> port:int -> unit ->
   Testbed.t * Deploy.server_site

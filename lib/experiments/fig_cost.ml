@@ -15,7 +15,24 @@ let fig9 ~quick =
   Exp_util.header "Fig. 9 — Hostlo cost savings over cluster traces";
   let users = if quick then 150 else Nest_traces.Trace_gen.default_users in
   let trace = Nest_traces.Trace_gen.generate ~seed:2026L ~users in
-  let outcomes = Report.evaluate trace in
+  (* Each user's packing evaluation is independent; chunk them so a
+     domain claims a batch of users at a time rather than one. *)
+  let outcomes =
+    let chunk = 64 in
+    let rec chunks = function
+      | [] -> []
+      | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let c, rest = take chunk [] l in
+        c :: chunks rest
+    in
+    Exp_util.Par.map (List.map Report.evaluate_user) (chunks trace)
+    |> List.concat
+  in
   let summary = Report.summarize outcomes in
   Format.printf "%a@." Report.pp_summary summary;
   Printf.printf "  relative-savings histogram (saving users):\n";

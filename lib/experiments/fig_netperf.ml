@@ -29,25 +29,40 @@ let point_of ~quick ~endpoints_of ~size =
     lat_mean_us = Stats.mean rr.Netperf.latency;
     lat_sd_us = Stats.stddev rr.Netperf.latency }
 
+let single_cell ~quick ~mode ~size =
+  let endpoints_of () =
+    let tb, site = Exp_util.deploy_single_sync ~mode ~port:7000 () in
+    (tb, App.of_single tb site)
+  in
+  point_of ~quick ~endpoints_of ~size
+
+let pair_cell ~quick ~mode ~size =
+  let endpoints_of () =
+    let tb, site = Exp_util.deploy_pair_sync ~mode ~port:7000 () in
+    (tb, App.of_pair site)
+  in
+  point_of ~quick ~endpoints_of ~size
+
 let sweep_single ~quick ~mode ~sizes =
-  List.map
-    (fun size ->
-      let endpoints_of () =
-        let tb, site = Exp_util.deploy_single_sync ~mode ~port:7000 () in
-        (tb, App.of_single tb site)
-      in
-      point_of ~quick ~endpoints_of ~size)
-    sizes
+  Exp_util.Par.map (fun size -> single_cell ~quick ~mode ~size) sizes
 
 let sweep_pair ~quick ~mode ~sizes =
+  Exp_util.Par.map (fun size -> pair_cell ~quick ~mode ~size) sizes
+
+(* Flatten a mode × size sweep into independent cells, fan them through
+   the domain pool, and regroup into per-mode point lists (cell order is
+   preserved by [Par.map], so each group comes back in size order). *)
+let sweep_modes ~modes ~sizes ~cell =
+  let cells =
+    List.concat_map (fun m -> List.map (fun s -> (m, s)) sizes) modes
+  in
+  let points = Exp_util.Par.map (fun (m, s) -> cell m s) cells in
+  let tagged = List.map2 (fun (m, _) p -> (m, p)) cells points in
   List.map
-    (fun size ->
-      let endpoints_of () =
-        let tb, site = Exp_util.deploy_pair_sync ~mode ~port:7000 () in
-        (tb, App.of_pair site)
-      in
-      point_of ~quick ~endpoints_of ~size)
-    sizes
+    (fun m ->
+      (m, List.filter_map (fun (m', p) -> if m' = m then Some p else None)
+            tagged))
+    modes
 
 let print_sweep name points =
   Printf.printf "%-10s %8s %14s %14s %12s\n" name "size(B)" "tput(Mbps)"
@@ -84,8 +99,14 @@ let charts results ~what =
 let fig2 ~quick =
   Exp_util.header "Fig. 2 — nested (NAT) vs single-level (NoCont) at 1280 B";
   let sizes = [ 1280 ] in
-  let nat = sweep_single ~quick ~mode:`Nat ~sizes in
-  let nocont = sweep_single ~quick ~mode:`NoCont ~sizes in
+  let nat, nocont =
+    match
+      sweep_modes ~modes:[ `Nat; `NoCont ] ~sizes
+        ~cell:(fun mode size -> single_cell ~quick ~mode ~size)
+    with
+    | [ (_, nat); (_, nocont) ] -> (nat, nocont)
+    | _ -> assert false
+  in
   print_sweep "NAT" nat;
   print_sweep "NoCont" nocont;
   let n = find_size nat 1280 and o = find_size nocont 1280 in
@@ -101,9 +122,8 @@ let fig4 ~quick =
     else Netperf.default_sizes
   in
   let results =
-    List.map
-      (fun mode -> (mode, sweep_single ~quick ~mode ~sizes))
-      Modes.all_single
+    sweep_modes ~modes:Modes.all_single ~sizes
+      ~cell:(fun mode size -> single_cell ~quick ~mode ~size)
   in
   List.iter
     (fun (mode, points) -> print_sweep (Modes.single_to_string mode) points)
@@ -127,7 +147,8 @@ let fig10 ~quick =
     else [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
   in
   let results =
-    List.map (fun mode -> (mode, sweep_pair ~quick ~mode ~sizes)) Modes.all_pair
+    sweep_modes ~modes:Modes.all_pair ~sizes
+      ~cell:(fun mode size -> pair_cell ~quick ~mode ~size)
   in
   List.iter
     (fun (mode, points) -> print_sweep (Modes.pair_to_string mode) points)

@@ -19,4 +19,9 @@ val find : string -> entry option
 (** Searches both [all] and [ablations]. *)
 
 val ids : unit -> string list
-val run_all : quick:bool -> unit
+
+val run_all : ?jobs:int -> quick:bool -> unit -> unit
+(** Runs every entry of [all] in paper order.  [jobs] (default 1) sets
+    the {!Exp_util.Par} fan-out width: experiments still print in order,
+    but each fans its independent cells (one testbed + workload apiece)
+    across that many domains.  Results are identical for any [jobs]. *)

@@ -36,9 +36,13 @@ type rewrite = {
   new_dst : (Ipv4.t * int) option;
 }
 
-type t = { table : (flow, rewrite) Hashtbl.t; mutable next_port : int }
+type t = {
+  table : (flow, rewrite) Hashtbl.t;
+  mutable next_port : int;
+  mutable gen : int;
+}
 
-let create () = { table = Hashtbl.create 64; next_port = 32768 }
+let create () = { table = Hashtbl.create 64; next_port = 32768; gen = 0 }
 
 let alloc_port t =
   let p = t.next_port in
@@ -80,6 +84,7 @@ let snat t p ~to_ip =
         f_dport = nat_port }
     in
     let back = { new_src = None; new_dst = Some (f.f_src, f.f_sport) } in
+    t.gen <- t.gen + 1;
     Hashtbl.replace t.table f fwd;
     Hashtbl.replace t.table reply_flow back;
     apply fwd p
@@ -95,11 +100,13 @@ let dnat t p ~to_ip ~to_port =
         f_dport = f.f_sport }
     in
     let back = { new_src = Some (f.f_dst, f.f_dport); new_dst = None } in
+    t.gen <- t.gen + 1;
     Hashtbl.replace t.table f fwd;
     Hashtbl.replace t.table reply_flow back;
     apply fwd p
 
 let entry_count t = Hashtbl.length t.table
+let generation t = t.gen
 
 let bindings t =
   Hashtbl.fold

@@ -38,5 +38,11 @@ val translate : t -> Packet.t -> Packet.t * bool
     matching Linux semantics). *)
 
 val entry_count : t -> int
+
+val generation : t -> int
+(** Monotonic counter bumped whenever a new binding pair is created.
+    Lets callers (the stack's flow cache) detect staleness with one
+    comparison. *)
+
 val bindings : t -> (flow * flow) list
 (** [(matched flow, rewritten-to flow)] pairs, unordered. *)

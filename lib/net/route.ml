@@ -5,11 +5,12 @@ type entry = {
   src : Ipv4.t option;
 }
 
-type t = { mutable routes : entry list }
+type t = { mutable routes : entry list; mutable gen : int }
 
-let create () = { routes = [] }
+let create () = { routes = []; gen = 0 }
 
 let add t ~dst ~dev ?gateway ?src () =
+  t.gen <- t.gen + 1;
   t.routes <- { dst; gateway; dev; src } :: t.routes
 
 let add_default t ~gateway ~dev ?src () =
@@ -29,5 +30,10 @@ let lookup t ip =
   !best
 
 let next_hop e ip = match e.gateway with Some gw -> gw | None -> ip
-let remove_dev t dev = t.routes <- List.filter (fun e -> e.dev != dev) t.routes
+
+let remove_dev t dev =
+  t.gen <- t.gen + 1;
+  t.routes <- List.filter (fun e -> e.dev != dev) t.routes
+
 let entries t = t.routes
+let generation t = t.gen

@@ -26,6 +26,25 @@ type ns_counters = {
   mutable rst_sent : int;
 }
 
+(* ONCache-style flow cache: the complete forwarding verdict for a flow —
+   egress device, next hop, ARP-resolved MAC, and whether the netfilter
+   chains were a no-op — memoized per namespace so steady-state packets
+   skip the route list walk, the hook chains and ARP resolution.
+
+   A verdict is valid while none of the state it was derived from has
+   mutated; each mutable table carries a monotonic generation counter and
+   the verdict records their sum at install time (all counters only grow,
+   so sum equality is equivalent to component-wise equality).  Per-packet
+   work that is not flow-invariant — conntrack translation, TTL
+   decrement, hop costing, delivery counters — still runs on the fast
+   path, so cached and uncached packets are simulated identically. *)
+type fc_tx = { fc_dev : Dev.t; fc_next_hop : Ipv4.t; fc_mac : Mac.t }
+
+type fc_out = Fc_out_local | Fc_out_tx of fc_tx
+type fc_in = Fc_in_deliver | Fc_in_forward of fc_tx
+
+type 'v fc_verdict = { fc_stamp : int; fc_v : 'v }
+
 (* TCP tuning.  Values follow Linux defaults where a default exists. *)
 let sndbuf_default = 262_144
 let rcvwnd_default = 262_144
@@ -117,6 +136,13 @@ and ns = {
   mutable lo : Dev.t option;
   mutable observer : (Packet.t -> unit) option;
   ns_rng : Nest_sim.Prng.t;
+  (* Flow cache (see the comment on [fc_tx]). *)
+  mutable fc_enabled : bool;
+  mutable fc_gen : int;  (* bumped on addr/dev/ARP/fwd-flag mutation *)
+  out_cache : (Conntrack.flow, fc_out fc_verdict) Hashtbl.t;
+  in_cache : (string * Conntrack.flow, fc_in fc_verdict) Hashtbl.t;
+  mutable fc_hits : int;
+  mutable fc_misses : int;
 }
 
 (* Scheduler wakeup latency: base plus an exponential tail (run-queue
@@ -168,7 +194,9 @@ let costs ns = ns.cs
 let devices ns = ns.devs
 let find_dev ns n = List.find_opt (fun d -> d.Dev.name = n) ns.devs
 let addrs ns = ns.addr_list
-let set_ip_forward ns b = ns.fwd <- b
+let set_ip_forward ns b =
+  ns.fwd <- b;
+  ns.fc_gen <- ns.fc_gen + 1
 let set_trace_all ns b = ns.trace_all <- b
 let set_provenance_all ns b = ns.prov_all <- b
 
@@ -202,6 +230,35 @@ let dev_holding_addr ns ip =
 let arp_cache ns =
   Hashtbl.fold (fun ip mac acc -> (ip, mac) :: acc) ns.arp_tbl []
   |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Flow cache                                                          *)
+
+let fc_stamp ns =
+  Route.generation ns.rt
+  + Netfilter.generation ns.nf_tbl
+  + Conntrack.generation ns.ct_tbl
+  + ns.fc_gen
+
+(* Stale entries linger until overwritten or the cap trips; they are
+   harmless (the stamp check rejects them) but bound the tables anyway. *)
+let fc_cap = 4096
+
+let fc_install tbl key v =
+  if Hashtbl.length tbl >= fc_cap then Hashtbl.reset tbl;
+  Hashtbl.replace tbl key v
+
+let fc_invalidate ns = ns.fc_gen <- ns.fc_gen + 1
+
+let set_flow_cache ns on =
+  ns.fc_enabled <- on;
+  if not on then begin
+    Hashtbl.reset ns.out_cache;
+    Hashtbl.reset ns.in_cache
+  end
+
+let flow_cache_enabled ns = ns.fc_enabled
+let flow_cache_stats ns = (ns.fc_hits, ns.fc_misses)
 
 (* Netfilter is "armed" once any rule exists; armed namespaces pay the
    [nat] hop surcharge on their datapath — a fixed hook cost plus a
@@ -277,6 +334,12 @@ let arp_resolve ns dev ip k =
 
 let arp_learn ns ip mac =
   if not (Ipv4.equal ip Ipv4.any) then begin
+    (* A neighbour moving to a new MAC invalidates cached verdicts that
+       resolved the old one; re-learning the same MAC must not (it is the
+       common case and would defeat the cache). *)
+    (match Hashtbl.find_opt ns.arp_tbl ip with
+    | Some old when not (Mac.equal old mac) -> fc_invalidate ns
+    | Some _ | None -> ());
     Hashtbl.replace ns.arp_tbl ip mac;
     match Hashtbl.find_opt ns.arp_waiting ip with
     | None -> ()
@@ -285,6 +348,12 @@ let arp_learn ns ip mac =
       Hashtbl.remove ns.arp_waiting ip;
       List.iter (fun k -> k mac) ks
   end
+
+let arp_flush ?ip ns =
+  (match ip with
+  | Some ip -> Hashtbl.remove ns.arp_tbl ip
+  | None -> Hashtbl.reset ns.arp_tbl);
+  fc_invalidate ns
 
 let arp_input ns dev (a : Frame.arp_msg) =
   arp_learn ns a.Frame.sender_ip a.Frame.sender_mac;
@@ -329,8 +398,18 @@ let local_socket_matches ns (pkt : Packet.t) =
   | Packet.Icmp_echo { id; reply; _ } ->
     if reply then Hashtbl.mem ns.icmp_waiters id else true
 
-let transmit_via ns ~(dev : Dev.t) ~next_hop pkt =
+(* [install] receives the complete transmit verdict when it is safe to
+   replay for the rest of the flow: the postrouting chain either was
+   skipped (conntrack-translated flow — the fast path re-translates every
+   packet) or returned the packet physically unchanged, and the next hop's
+   MAC is already resolved (an async ARP resolution installs nothing; the
+   flow's next packet will).  Reflector devices resolve to broadcast and
+   their delivery-vs-transmit split depends on live socket state, so they
+   are never cached. *)
+let transmit_via ?(install = fun (_ : fc_tx) -> ()) ns ~(dev : Dev.t)
+    ~next_hop pkt =
   let ctx = { Netfilter.in_dev = None; out_dev = Some dev.Dev.name } in
+  let pkt0 = pkt in
   let pkt, translated = Conntrack.translate ns.ct_tbl pkt in
   let post =
     if translated then Some pkt
@@ -339,7 +418,18 @@ let transmit_via ns ~(dev : Dev.t) ~next_hop pkt =
   match post with
   | None -> note_drop ns `Filtered
   | Some pkt ->
-    arp_resolve ns dev next_hop (fun mac -> send_ip_frame ns dev ~dst_mac:mac pkt)
+    if dev.Dev.l2 = Dev.Reflector then
+      arp_resolve ns dev next_hop (fun mac ->
+          send_ip_frame ns dev ~dst_mac:mac pkt)
+    else (
+      match Hashtbl.find_opt ns.arp_tbl next_hop with
+      | Some mac ->
+        if translated || pkt == pkt0 then
+          install { fc_dev = dev; fc_next_hop = next_hop; fc_mac = mac };
+        send_ip_frame ns dev ~dst_mac:mac pkt
+      | None ->
+        arp_resolve ns dev next_hop (fun mac ->
+            send_ip_frame ns dev ~dst_mac:mac pkt))
 
 let deliver_locally ns pkt =
   Hop.service_prov ?prov:(Packet.prov pkt) ns.cs.local
@@ -351,26 +441,62 @@ let deliver_locally ns pkt =
       | None -> ());
       !ip_local_input_ref ns pkt)
 
-let ip_output ns pkt =
+let ip_output_slow ns ~install pkt =
   let ctx = Netfilter.no_ctx in
+  let pkt0 = pkt in
   match Netfilter.run ns.nf_tbl Netfilter.Output ctx pkt with
   | None -> note_drop ns `Filtered
   | Some pkt -> (
+    (* A mangled packet means the verdict keyed on the original flow does
+       not describe what the chains do: never install it. *)
+    let unmangled = pkt == pkt0 in
     if is_local_addr ns pkt.Packet.dst then begin
       match dev_holding_addr ns pkt.Packet.dst with
-      | Some dev
-        when dev.Dev.l2 = Dev.Reflector && not (local_socket_matches ns pkt) ->
-        (* Hostlo: the destination is the pod's localhost but the matching
-           socket lives in another fraction — leave through the reflector. *)
-        transmit_via ns ~dev ~next_hop:pkt.Packet.dst pkt
-      | Some _ | None -> deliver_locally ns pkt
+      | Some dev when dev.Dev.l2 = Dev.Reflector ->
+        if local_socket_matches ns pkt then deliver_locally ns pkt
+        else
+          (* Hostlo: the destination is the pod's localhost but the
+             matching socket lives in another fraction — leave through the
+             reflector.  Either way the outcome depends on live socket
+             state, so reflector-held addresses are never cached. *)
+          transmit_via ns ~dev ~next_hop:pkt.Packet.dst pkt
+      | Some _ | None ->
+        if unmangled then install Fc_out_local;
+        deliver_locally ns pkt
     end
     else
       match Route.lookup ns.rt pkt.Packet.dst with
       | None -> note_drop ns `No_route
       | Some e ->
-        transmit_via ns ~dev:e.Route.dev
+        transmit_via ns
+          ~install:(if unmangled then fun tx -> install (Fc_out_tx tx)
+                    else fun _ -> ())
+          ~dev:e.Route.dev
           ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)
+
+let fc_no_install _ = ()
+
+let ip_output ns pkt =
+  if not ns.fc_enabled then ip_output_slow ns ~install:fc_no_install pkt
+  else
+    let key = Conntrack.flow_of_packet pkt in
+    let stamp = fc_stamp ns in
+    match Hashtbl.find_opt ns.out_cache key with
+    | Some v when v.fc_stamp = stamp -> (
+      ns.fc_hits <- ns.fc_hits + 1;
+      match v.fc_v with
+      | Fc_out_local -> deliver_locally ns pkt
+      | Fc_out_tx tx ->
+        (* Translation is per-packet work (it rewrites each packet of a
+           bound flow); the chains stay skipped either because the flow is
+           translated (Linux semantics) or because they were observed to
+           be a no-op for this flow. *)
+        let pkt, _ = Conntrack.translate ns.ct_tbl pkt in
+        send_ip_frame ns tx.fc_dev ~dst_mac:tx.fc_mac pkt)
+    | Some _ | None ->
+      ns.fc_misses <- ns.fc_misses + 1;
+      ip_output_slow ns pkt ~install:(fun v ->
+          fc_install ns.out_cache key { fc_stamp = stamp; fc_v = v })
 
 (* ------------------------------------------------------------------ *)
 (* TCP                                                                 *)
@@ -781,8 +907,9 @@ let ip_local_input ns pkt =
 let () = ip_local_input_ref := ip_local_input
 
 (* Input from a device, after the rx hop has been paid. *)
-let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
+let ip_input_slow ns (dev : Dev.t) ~install (pkt : Packet.t) =
   let ctx = { Netfilter.in_dev = Some dev.Dev.name; out_dev = None } in
+  let pkt0 = pkt in
   let pkt, translated = Conntrack.translate ns.ct_tbl pkt in
   let pre =
     if translated then Some pkt
@@ -791,15 +918,24 @@ let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
   match pre with
   | None -> note_drop ns `Filtered
   | Some pkt ->
+    (* Installable only when the packet the verdict was derived from is
+       the keyed flow itself: translated (the fast path re-translates) or
+       passed through prerouting untouched. *)
+    let unmangled = translated || pkt == pkt0 in
     if is_local_addr ns pkt.Packet.dst then begin
+      let pkt1 = pkt in
       match Netfilter.run ns.nf_tbl Netfilter.Input ctx pkt with
       | None -> note_drop ns `Filtered
-      | Some pkt -> demux ns (Some dev) pkt
+      | Some pkt ->
+        if unmangled && pkt == pkt1 then install Fc_in_deliver;
+        demux ns (Some dev) pkt
     end
     else if ns.fwd then begin
+      let pkt1 = pkt in
       match Netfilter.run ns.nf_tbl Netfilter.Forward ctx pkt with
       | None -> note_drop ns `Filtered
       | Some pkt -> (
+        let unmangled = unmangled && pkt == pkt1 in
         match Packet.decrement_ttl pkt with
         | None -> note_drop ns `Ttl
         | Some pkt -> (
@@ -809,10 +945,41 @@ let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
             ns.cnt.forwarded_pkts <- ns.cnt.forwarded_pkts + 1;
             Hop.service_prov ?prov:(Packet.prov pkt) ns.cs.forward
               ~bytes:(Packet.len pkt) (fun () ->
-                transmit_via ns ~dev:e.Route.dev
+                transmit_via ns
+                  ~install:
+                    (if unmangled then fun tx -> install (Fc_in_forward tx)
+                     else fun _ -> ())
+                  ~dev:e.Route.dev
                   ~next_hop:(Route.next_hop e pkt.Packet.dst) pkt)))
     end
     else note_drop ns `No_route
+
+let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
+  if not ns.fc_enabled then ip_input_slow ns dev ~install:fc_no_install pkt
+  else
+    let key = (dev.Dev.name, Conntrack.flow_of_packet pkt) in
+    let stamp = fc_stamp ns in
+    match Hashtbl.find_opt ns.in_cache key with
+    | Some v when v.fc_stamp = stamp -> (
+      ns.fc_hits <- ns.fc_hits + 1;
+      let pkt, _ = Conntrack.translate ns.ct_tbl pkt in
+      match v.fc_v with
+      | Fc_in_deliver -> demux ns (Some dev) pkt
+      | Fc_in_forward tx -> (
+        match Packet.decrement_ttl pkt with
+        | None -> note_drop ns `Ttl
+        | Some pkt ->
+          ns.cnt.forwarded_pkts <- ns.cnt.forwarded_pkts + 1;
+          Hop.service_prov ?prov:(Packet.prov pkt) ns.cs.forward
+            ~bytes:(Packet.len pkt) (fun () ->
+              (* Second translation mirrors the slow path's transmit_via
+                 (the forwarded flow may carry its own binding). *)
+              let pkt, _ = Conntrack.translate ns.ct_tbl pkt in
+              send_ip_frame ns tx.fc_dev ~dst_mac:tx.fc_mac pkt)))
+    | Some _ | None ->
+      ns.fc_misses <- ns.fc_misses + 1;
+      ip_input_slow ns dev pkt ~install:(fun v ->
+          fc_install ns.in_cache key { fc_stamp = stamp; fc_v = v })
 
 let dev_rx ns dev frame =
   (* L2 address filter. *)
@@ -837,6 +1004,7 @@ let dev_rx ns dev frame =
 
 let add_addr ns dev ip cidr =
   ns.addr_list <- ns.addr_list @ [ (dev, ip, cidr) ];
+  fc_invalidate ns;
   Route.add ns.rt ~dst:cidr ~dev ~src:ip ()
 
 let attach ns dev =
@@ -846,6 +1014,7 @@ let attach ns dev =
 let detach ns dev =
   ns.devs <- List.filter (fun d -> d != dev) ns.devs;
   ns.addr_list <- List.filter (fun (d, _, _) -> d != dev) ns.addr_list;
+  fc_invalidate ns;
   Route.remove_dev ns.rt dev;
   Dev.clear_rx dev
 
@@ -864,7 +1033,9 @@ let create engine ~name ~costs ?(with_loopback = true) () =
       icmp_waiters = Hashtbl.create 4; next_eph = ephemeral_base;
       next_icmp_id = 1; fwd = false; trace_all = false; prov_all = false;
       cnt; lo = None; observer = None;
-      ns_rng = Nest_sim.Prng.split (Engine.rng engine) }
+      ns_rng = Nest_sim.Prng.split (Engine.rng engine);
+      fc_enabled = true; fc_gen = 0; out_cache = Hashtbl.create 64;
+      in_cache = Hashtbl.create 64; fc_hits = 0; fc_misses = 0 }
   in
   (* Each namespace owns its costs record (Kernel_costs.stack_costs builds
      fresh hops per call), so its hops can carry attribution names. *)
@@ -896,6 +1067,12 @@ let create engine ~name ~costs ?(with_loopback = true) () =
   reg "dropped_filtered" (fun c -> c.dropped_filtered);
   reg "dropped_ttl" (fun c -> c.dropped_ttl);
   reg "rst_sent" (fun c -> c.rst_sent);
+  Metrics.gauge_probe m
+    (Printf.sprintf "ns.%s.flow_cache_hits" name)
+    (fun () -> float_of_int ns.fc_hits);
+  Metrics.gauge_probe m
+    (Printf.sprintf "ns.%s.flow_cache_misses" name)
+    (fun () -> float_of_int ns.fc_misses);
   ns
 
 (* ------------------------------------------------------------------ *)

@@ -87,6 +87,36 @@ val set_provenance_all : ns -> bool -> unit
 
 val arp_cache : ns -> (Ipv4.t * Mac.t) list
 
+val arp_flush : ?ip:Ipv4.t -> ns -> unit
+(** Expires one neighbour entry ([ip]) or the whole ARP cache, as a
+    neighbour-table timeout would; invalidates dependent flow-cache
+    verdicts. *)
+
+(** {2 Flow cache}
+
+    ONCache-style per-namespace memoization of the complete forwarding
+    verdict — egress device, next hop, resolved MAC, netfilter no-op —
+    keyed by flow tuple (plus ingress device on the input path).
+    Verdicts are stamped with the sum of the route/netfilter/conntrack
+    generation counters plus a namespace-local one bumped on
+    address/device/ARP/forwarding-flag mutation, so any table change
+    atomically invalidates every dependent verdict.  Per-packet work
+    (conntrack translation, TTL, hop costing, delivery counters) still
+    runs on cached packets: simulated time and results are identical
+    with the cache on or off.  The cache assumes netfilter rules are
+    flow-stable — a rule's match/verdict may depend on the flow tuple
+    and devices but not on per-packet payload — which holds for every
+    rule this repository installs (and for iptables NAT generally). *)
+
+val set_flow_cache : ns -> bool -> unit
+(** Default on; disabling also empties both cache tables. *)
+
+val flow_cache_enabled : ns -> bool
+
+val flow_cache_stats : ns -> int * int
+(** [(hits, misses)] of the fast path since namespace creation (also
+    exported as [ns.<name>.flow_cache_hits]/[..._misses] gauges). *)
+
 val set_observer : ns -> (Packet.t -> unit) option -> unit
 (** Debug tap invoked for every packet delivered to a local socket in
     this namespace (after NAT reversal), e.g. to read {!Packet.hops}. *)

@@ -8,13 +8,25 @@ type t = {
     unit;
 }
 
+(* Process-global and therefore mutex-guarded: the parallel experiment
+   harness may register/look up plugins from several domains. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
 
 let register t =
-  if Hashtbl.mem registry t.cni_name then
-    failwith ("Cni.register: duplicate plugin " ^ t.cni_name);
-  Hashtbl.replace registry t.cni_name t
+  locked (fun () ->
+      if Hashtbl.mem registry t.cni_name then
+        failwith ("Cni.register: duplicate plugin " ^ t.cni_name);
+      Hashtbl.replace registry t.cni_name t)
 
-let find name = Hashtbl.find_opt registry name
-let names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] |> List.sort compare
-let reset_registry () = Hashtbl.reset registry
+let find name = locked (fun () -> Hashtbl.find_opt registry name)
+
+let names () =
+  locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+  |> List.sort compare
+
+let reset_registry () = locked (fun () -> Hashtbl.reset registry)

@@ -2,17 +2,30 @@ open Nest_net
 
 type t = { kl_node : Node.t; mutable configured : int }
 
-let registry : (string * t) list ref = ref []
+(* Process-global: concurrent experiment cells each deploy onto their
+   own nodes, but they share this table, so guard it.  Keyed by the node
+   value itself (compared physically) — node *names* repeat across
+   testbeds ("node0" everywhere), and under a parallel harness two live
+   testbeds can hold same-named nodes at once. *)
+let registry : t list ref = ref []
+let registry_mu = Mutex.create ()
 
-let create node =
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+let create_unlocked node =
   let t = { kl_node = node; configured = 0 } in
-  registry := (Node.name node, t) :: !registry;
+  registry := t :: !registry;
   t
 
+let create node = locked (fun () -> create_unlocked node)
+
 let of_node node =
-  match List.assoc_opt (Node.name node) !registry with
-  | Some t when t.kl_node == node -> t
-  | Some _ | None -> create node
+  locked (fun () ->
+      match List.find_opt (fun t -> t.kl_node == node) !registry with
+      | Some t -> t
+      | None -> create_unlocked node)
 
 let node t = t.kl_node
 

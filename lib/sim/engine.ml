@@ -4,7 +4,7 @@ type prof_slot = { mutable calls : int; mutable wall : float }
 
 type t = {
   mutable clock : Time.ns;
-  queue : job Heap.t;
+  queue : job Wheel.t;
   root_rng : Prng.t;
   mutable executed : int;
   metrics : Metrics.t;
@@ -17,7 +17,7 @@ let create ?(seed = 0x5EEDL) () =
   let t =
     {
       clock = 0;
-      queue = Heap.create ();
+      queue = Wheel.create ();
       root_rng = Prng.create seed;
       executed = 0;
       metrics = Metrics.create ();
@@ -29,7 +29,7 @@ let create ?(seed = 0x5EEDL) () =
   Metrics.gauge_probe t.metrics "engine.events_processed" (fun () ->
       float_of_int t.executed);
   Metrics.gauge_probe t.metrics "engine.pending" (fun () ->
-      float_of_int (Heap.size t.queue));
+      float_of_int (Wheel.size t.queue));
   t
 
 let now t = t.clock
@@ -57,7 +57,7 @@ let profile t =
 
 let schedule_at t ?(label = "") ~at fn =
   let at = max at t.clock in
-  Heap.push t.queue ~prio:at { label; fn }
+  Wheel.push t.queue ~prio:at { label; fn }
 
 let schedule t ?label ~delay fn =
   schedule_at t ?label ~at:(t.clock + max 0 delay) fn
@@ -85,7 +85,7 @@ let exec_profiled t tbl job at =
   | None -> Hashtbl.add tbl label { calls = 1; wall = dt }
 
 let step t =
-  match Heap.pop t.queue with
+  match Wheel.pop t.queue with
   | None -> false
   | Some (at, job) ->
     t.clock <- at;
@@ -101,12 +101,12 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      match Heap.peek_prio t.queue with
+      match Wheel.peek_prio t.queue with
       | Some at when at <= horizon -> ignore (step t)
       | Some _ | None ->
         continue := false;
         t.clock <- max t.clock horizon
     done
 
-let pending t = Heap.size t.queue
+let pending t = Wheel.size t.queue
 let events_processed t = t.executed

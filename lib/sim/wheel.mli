@@ -1,0 +1,35 @@
+(** Hierarchical timing wheel with a heap-backed overflow.
+
+    Drop-in replacement for {!Heap} on the engine's hot path: push and
+    pop are O(1) for events within ~2^30 ticks of the current minimum
+    (six levels of 32 slots, lazily cascaded), and far-future events
+    spill to an ordinary binary heap until the wheel advances into
+    their frame.
+
+    The ordering contract is identical to {!Heap}: [pop] returns
+    entries in ascending priority, FIFO among equal priorities (a
+    per-wheel sequence number assigned at push time breaks ties).
+    Priorities must be non-negative; a priority below the last
+    extracted minimum is clamped up to it, i.e. events cannot be
+    scheduled into the already-delivered past. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** [push t ~prio v] files [v] at [prio] (clamped to the current
+    minimum's tick if below it). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Extracts the (priority, value) with the smallest priority,
+    first-in-first-out among equal priorities. *)
+
+val peek_prio : 'a t -> int option
+(** Priority [pop] would return next, without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Drops all entries and resets the wheel to tick 0. *)

@@ -52,6 +52,105 @@ let test_heap_interleaved () =
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
 (* ------------------------------------------------------------------ *)
+(* Timing wheel: the engine's queue, contractually identical to Heap
+   for the engine's monotone usage pattern. *)
+
+module Wheel = Nest_sim.Wheel
+
+let drain_both w h =
+  let rec go () =
+    match (Wheel.pop w, Heap.pop h) with
+    | None, None -> true
+    | Some (pw, vw), Some (ph, vh) -> pw = ph && vw = vh && go ()
+    | None, Some _ | Some _, None -> false
+  in
+  go ()
+
+let test_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pops exactly like the heap (order + FIFO ties)"
+    ~count:300
+    QCheck.(list (int_bound 5000))
+    (fun prios ->
+      let w = Wheel.create () and h = Heap.create () in
+      List.iteri
+        (fun i p ->
+          Wheel.push w ~prio:p i;
+          Heap.push h ~prio:p i)
+        prios;
+      drain_both w h)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create () in
+  List.iter (fun v -> Wheel.push w ~prio:7 v) [ "a"; "b"; "c" ];
+  Wheel.push w ~prio:3 "first";
+  let popped =
+    List.init 4 (fun _ ->
+        match Wheel.pop w with Some (_, v) -> v | None -> assert false)
+  in
+  Alcotest.(check (list string)) "insertion order among equal priorities"
+    [ "first"; "a"; "b"; "c" ] popped
+
+let test_wheel_overflow_frames () =
+  (* Priorities spanning far more than one 2^30 frame: entries park in
+     the overflow heap and drain back as the base advances. *)
+  let w = Wheel.create () and h = Heap.create () in
+  let prios =
+    [ 0; 1; 31; 32; 1 lsl 20; (1 lsl 30) + 5; (1 lsl 30) + 5; 3 lsl 30;
+      (3 lsl 30) + 7; 7 lsl 30; max_int / 2 ]
+  in
+  List.iteri
+    (fun i p ->
+      Wheel.push w ~prio:p i;
+      Heap.push h ~prio:p i)
+    prios;
+  Alcotest.(check bool) "drains in heap order across frames" true
+    (drain_both w h)
+
+let test_wheel_past_clamp () =
+  (* The engine never schedules below its clock, but the wheel still
+     clamps a below-base priority to the base rather than corrupting
+     its frames. *)
+  let w = Wheel.create () in
+  Wheel.push w ~prio:100 "a";
+  Alcotest.(check (option int)) "min" (Some 100) (Wheel.peek_prio w);
+  ignore (Wheel.pop w);
+  Wheel.push w ~prio:5 "late";
+  (match Wheel.pop w with
+  | Some (p, v) ->
+    Alcotest.(check string) "late entry pops" "late" v;
+    Alcotest.(check bool) "clamped to >= base" true (p >= 100)
+  | None -> Alcotest.fail "expected an entry");
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_wheel_interleaved_monotone =
+  (* The engine's actual pattern: pushes always at or above the last
+     popped priority.  The wheel must match the heap pop-for-pop. *)
+  QCheck.Test.make ~name:"wheel = heap under monotone interleaving"
+    ~count:200
+    QCheck.(list (pair bool (int_bound 100_000)))
+    (fun ops ->
+      let w = Wheel.create () and h = Heap.create () in
+      let floor = ref 0 and next = ref 0 in
+      List.for_all
+        (fun (is_pop, delta) ->
+          if is_pop then
+            match (Wheel.pop w, Heap.pop h) with
+            | None, None -> true
+            | Some (pw, vw), Some (ph, vh) ->
+              floor := pw;
+              pw = ph && vw = vh
+            | None, Some _ | Some _, None -> false
+          else begin
+            let prio = !floor + delta in
+            incr next;
+            Wheel.push w ~prio !next;
+            Heap.push h ~prio !next;
+            true
+          end)
+        ops
+      && drain_both w h)
+
+(* ------------------------------------------------------------------ *)
 (* Engine *)
 
 let test_engine_ordering () =
@@ -359,6 +458,12 @@ let () =
         [ qtest test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved ] );
+      ( "wheel",
+        [ qtest test_wheel_matches_heap;
+          Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "overflow frames" `Quick test_wheel_overflow_frames;
+          Alcotest.test_case "past clamp" `Quick test_wheel_past_clamp;
+          qtest test_wheel_interleaved_monotone ] );
       ( "engine",
         [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
           Alcotest.test_case "horizon" `Quick test_engine_horizon;
