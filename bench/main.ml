@@ -89,6 +89,40 @@ let kernel_engine_events () =
   done;
   Nest_sim.Engine.run e
 
+(* Heap-vs-Wheel head-to-head under engine-like churn: seed a batch,
+   then every extraction schedules one near-future follow-up (the
+   pattern the event loop produces).  Near-future pushes are the timing
+   wheel's O(1) case; the heap pays log n on both sides. *)
+let queue_churn ~push ~pop =
+  let pushed = ref 0 in
+  let push ~prio v =
+    incr pushed;
+    push ~prio v
+  in
+  for i = 1 to 256 do
+    push ~prio:(i * 13) i
+  done;
+  let rec loop () =
+    match pop () with
+    | None -> ()
+    | Some (p, v) ->
+      if !pushed < 5_000 then push ~prio:(p + 1 + ((v * 7) land 1023)) (v + 1);
+      loop ()
+  in
+  loop ()
+
+let kernel_exec_queue_heap () =
+  let h = Nest_sim.Heap.create () in
+  queue_churn
+    ~push:(fun ~prio v -> Nest_sim.Heap.push h ~prio v)
+    ~pop:(fun () -> Nest_sim.Heap.pop h)
+
+let kernel_exec_queue_wheel () =
+  let w = Nest_sim.Wheel.create () in
+  queue_churn
+    ~push:(fun ~prio v -> Nest_sim.Wheel.push w ~prio v)
+    ~pop:(fun () -> Nest_sim.Wheel.pop w)
+
 let kernel_conntrack () =
   let ct = Nest_net.Conntrack.create () in
   let nat_ip = Nest_net.Ipv4.of_string "10.0.0.1" in
@@ -128,6 +162,8 @@ let micro_tests =
     Test.make ~name:"fig15:netperf-natx"
       (Staged.stage (kernel_netperf_pair ~mode:`NatX));
     Test.make ~name:"engine:1k-events" (Staged.stage kernel_engine_events);
+    Test.make ~name:"exec_queue:heap" (Staged.stage kernel_exec_queue_heap);
+    Test.make ~name:"exec_queue:wheel" (Staged.stage kernel_exec_queue_wheel);
     Test.make ~name:"net:conntrack-snat" (Staged.stage kernel_conntrack) ]
 
 let run_micro () =
@@ -189,30 +225,44 @@ let time_runs ~reps f =
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int reps
 
+(* Provenance sampling period used for the fourth overhead row (and
+   recorded in the JSON document next to its timing). *)
+let prov_sample_period = 16
+
 let run_overhead () =
   print_newline ();
   print_endline
     "== Observability overhead (netperf kernel, off / trace+metrics / \
-     +provenance) ==";
+     +provenance / +sampled provenance) ==";
   let reps = 3 in
   let kernel = kernel_netperf_single ~mode:`Nat in
-  let timed ~trace ~metrics ~provenance =
-    Exp_util.Obs.configure ~trace ~metrics ~provenance ();
+  let timed ~trace ~metrics ~provenance ~prov_sample =
+    Exp_util.Obs.configure ~trace ~metrics ~provenance ~prov_sample ();
     let t = time_runs ~reps kernel in
     Exp_util.Obs.discard ();
     t
   in
-  let off = timed ~trace:false ~metrics:false ~provenance:false in
-  let tm = timed ~trace:true ~metrics:true ~provenance:false in
-  let tmp = timed ~trace:true ~metrics:true ~provenance:true in
-  Exp_util.Obs.configure ~trace:false ~metrics:false ~provenance:false ();
+  let off =
+    timed ~trace:false ~metrics:false ~provenance:false ~prov_sample:1
+  in
+  let tm = timed ~trace:true ~metrics:true ~provenance:false ~prov_sample:1 in
+  let tmp = timed ~trace:true ~metrics:true ~provenance:true ~prov_sample:1 in
+  let tmps =
+    timed ~trace:true ~metrics:true ~provenance:true
+      ~prov_sample:prov_sample_period
+  in
+  Exp_util.Obs.configure ~trace:false ~metrics:false ~provenance:false
+    ~prov_sample:1 ();
   let overhead v = if off > 0.0 then 100.0 *. (v -. off) /. off else 0.0 in
   Printf.printf "%-42s %10.2f ms\n" "collection disabled" (off *. 1e3);
   Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n" "tracing+metrics" (tm *. 1e3)
     (overhead tm);
   Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n" "tracing+metrics+provenance"
     (tmp *. 1e3) (overhead tmp);
-  (off, tm, tmp)
+  Printf.printf "%-42s %10.2f ms  (%+.1f %%)\n"
+    (Printf.sprintf "  ... provenance sampled 1/%d" prov_sample_period)
+    (tmps *. 1e3) (overhead tmps);
+  (off, tm, tmp, tmps)
 
 (* ------------------------------------------------------------------ *)
 (* Domain fan-out: the same cell sweep at jobs=1 and jobs=N, with a
@@ -270,23 +320,28 @@ let write_json ~path ~rows ~overhead ~scaling =
   Buffer.add_string b "  ],\n";
   (match overhead with
   | None -> ()
-  | Some (off, tm, tmp) ->
+  | Some (off, tm, tmp, tmps) ->
     Buffer.add_string b
       (Printf.sprintf
          "  \"observability_overhead_ms\": {\"disabled\": %s, \
-          \"trace_metrics\": %s, \"trace_metrics_provenance\": %s},\n"
-         (fl (off *. 1e3)) (fl (tm *. 1e3)) (fl (tmp *. 1e3))));
+          \"trace_metrics\": %s, \"trace_metrics_provenance\": %s, \
+          \"trace_metrics_provenance_sampled\": %s, \
+          \"provenance_sampling\": %d},\n"
+         (fl (off *. 1e3)) (fl (tm *. 1e3)) (fl (tmp *. 1e3))
+         (fl (tmps *. 1e3)) prov_sample_period));
   (match scaling with
   | None -> ()
   | Some s ->
     Buffer.add_string b
       (Printf.sprintf
          "  \"jobs_scaling\": {\"jobs\": %d, \"serial_s\": %s, \
-          \"parallel_s\": %s, \"speedup\": %s, \"identical\": %b},\n"
+          \"parallel_s\": %s, \"speedup\": %s, \"recommended_domains\": %d, \
+          \"identical\": %b},\n"
          s.js_jobs (fl s.js_serial_s) (fl s.js_parallel_s)
          (fl
             (if s.js_parallel_s > 0.0 then s.js_serial_s /. s.js_parallel_s
              else 0.0))
+         (Nest_sim.Domain_pool.recommended_jobs ())
          s.js_identical));
   Buffer.add_string b
     (Printf.sprintf "  \"host_cores\": %d\n}\n"

@@ -49,7 +49,7 @@ let run_cmd ids quick jobs trace metrics obs_json trace_capacity =
 (* Observability-first run: full collection on, any registered experiment
    (or none), a Perfetto-loadable Chrome trace written to --out, and a
    per-hop latency-attribution table comparing the deployment modes. *)
-let obs_cmd ids quick out trace_capacity timeline_period_us =
+let obs_cmd ids quick out trace_capacity timeline_period_us prov_sample =
   if trace_capacity <= 0 then begin
     Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
       trace_capacity;
@@ -60,8 +60,13 @@ let obs_cmd ids quick out trace_capacity timeline_period_us =
       timeline_period_us;
     exit 1
   end;
+  if prov_sample <= 0 then begin
+    Printf.eprintf "nestsim: --prov-sample must be positive (got %d)\n"
+      prov_sample;
+    exit 1
+  end;
   Nest_experiments.Exp_util.Obs.configure ~trace:true ~metrics:true
-    ~provenance:true ~timeline:true ~trace_capacity
+    ~provenance:true ~prov_sample ~timeline:true ~trace_capacity
     ~timeline_period:(Nest_sim.Time.us timeline_period_us) ();
   List.iter
     (fun id ->
@@ -72,7 +77,10 @@ let obs_cmd ids quick out trace_capacity timeline_period_us =
         exit 1)
     ids;
   (* Timed per-mode probes: each deploys its own testbed (attached above
-     through the sync helpers), so their spans land in the export too. *)
+     through the sync helpers), so their spans land in the export too.
+     The probes decompose one datagram exactly, so they are never
+     sampled away — --prov-sample applies to the experiments above. *)
+  Nest_experiments.Exp_util.Obs.configure ~prov_sample:1 ();
   let probes = Nest_experiments.Exp_util.provenance_probes () in
   let ex = Nest_experiments.Exp_util.Obs.export_chrome () in
   List.iter
@@ -191,6 +199,17 @@ let obs_term =
              ~doc:"CPU-timeline sampling period in microseconds of sim \
                    time.")
   in
+  let prov_sample =
+    Arg.(value & opt int 1
+         & info [ "prov-sample" ] ~docv:"N"
+             ~doc:"Mint one latency-provenance record per $(docv) eligible \
+                   packets instead of per packet (1 = every packet).  \
+                   Applies to experiment traffic; the timed per-mode probes \
+                   always record every packet.  Sampling is deterministic: \
+                   the counter advances in send order per namespace, so the \
+                   sampled subset is identical across runs and $(b,--jobs) \
+                   levels.")
+  in
   let obs_ids =
     Arg.(value & pos_all string []
          & info [] ~docv:"EXPERIMENT"
@@ -206,10 +225,59 @@ let obs_term =
     Cmd.v (Cmd.info "run" ~doc)
       Term.(
         const obs_cmd $ obs_ids $ quick $ out $ trace_capacity
-        $ timeline_period)
+        $ timeline_period $ prov_sample)
   in
   let doc = "Observability workflows (Perfetto export, latency attribution)." in
   Cmd.group (Cmd.info "obs" ~doc) [ run ]
+
+let chaos_cmd rates seed jobs quick check =
+  if jobs <= 0 then begin
+    Printf.eprintf "nestsim: --jobs must be positive (got %d)\n" jobs;
+    exit 1
+  end;
+  if check then begin
+    if not (Nest_experiments.Fig_chaos.check ~seed ~jobs ~quick ()) then
+      exit 1
+  end
+  else begin
+    Nest_experiments.Exp_util.Par.set_jobs jobs;
+    let rates =
+      match rates with
+      | [] -> Nest_experiments.Fig_chaos.default_rates
+      | rs -> rs
+    in
+    Nest_experiments.Fig_chaos.run ~rates ~seed ~quick ()
+  end
+
+let chaos_term =
+  let rates =
+    Arg.(value & opt (list float) []
+         & info [ "rates" ] ~docv:"R1,R2,..."
+             ~doc:"Management-plane fault rates to sweep (default \
+                   0,0.1,0.3,0.5).  Each rate runs all four deployment \
+                   modes.")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Testbed seed; the fault plan derives its private \
+                   stream from it.  Same seed, same fault timeline.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Determinism guard: run a fixed cell set sequentially, \
+                   fanned over --jobs domains, and again sequentially; \
+                   exit non-zero unless every cell digest is identical.")
+  in
+  let doc =
+    "Sweep fault rates across deployment modes; report pod-start \
+     behaviour under QMP faults (time-to-ready, retries, losses) and \
+     service availability with recovery-latency percentiles around VM \
+     crashes."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const chaos_cmd $ rates $ seed $ jobs $ quick $ check)
 
 let trace_term =
   let users =
@@ -243,6 +311,6 @@ let main =
   Cmd.group
     (Cmd.info "nestsim" ~version:"1.0.0" ~doc)
     ~default:Term.(const (fun () -> list_cmd ()) $ const ())
-    [ run_term; list_term; obs_term; trace_term ]
+    [ run_term; list_term; obs_term; chaos_term; trace_term ]
 
 let () = exit (Cmd.eval main)

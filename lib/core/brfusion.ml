@@ -45,21 +45,37 @@ let plugin config =
     in
     let netns = Nest_virt.Vm.new_netns vm ~name:pod_name () in
     config.hotplugs <- config.hotplugs + 1;
+    let kubelet = Nest_orch.Kubelet.of_node node in
     (* Steps 1-3: ask the VMM for a NIC on the host bridge; it answers
-       with the new device's MAC. *)
-    Nest_virt.Vmm.hotplug_nic_mac config.vmm ~vm ~bridge:config.bridge_name
-      ~id:("brf-" ^ pod_name)
-      ~k:(fun mac ->
-        (* Step 4: the VM agent discovers the device by MAC, moves it
-           into the pod namespace and configures it. *)
-        let ip = Ipam.alloc config.ipam in
-        Nest_orch.Kubelet.configure_nic
-          (Nest_orch.Kubelet.of_node node)
-          ~netns ~mac ~ip ~subnet ~gateway:gw
-          ~k:(fun _dev ->
-            config.assignments <- (netns, ip) :: config.assignments;
-            k netns)
-          ())
+       with the new device's MAC.  A refused/timed-out round-trip is
+       retried with backoff (kubelet semantics); only an exhausted
+       policy fails the pod. *)
+    Nest_orch.Kubelet.hotplug_with_retry kubelet
+      ~issue:(fun ~k ->
+        Nest_virt.Vmm.hotplug_nic_mac config.vmm ~vm
+          ~bridge:config.bridge_name ~id:("brf-" ^ pod_name) ~k)
+      ~k:(fun r ->
+        match r with
+        | Error e ->
+          let engine = Nest_virt.Host.engine (Nest_virt.Vmm.host config.vmm) in
+          Nest_sim.Metrics.bump
+            (Nest_sim.Metrics.counter
+               (Nest_sim.Engine.metrics engine)
+               "fault.pod_setup_failed")
+            ();
+          Nest_sim.Engine.trace_instant engine ~cat:"fault"
+            ~name:"pod_setup_failed" ~arg:(pod_name ^ ": " ^ e) ()
+        | Ok mac ->
+          (* Step 4: the VM agent discovers the device by MAC, moves it
+             into the pod namespace and configures it. *)
+          let ip = Ipam.alloc config.ipam in
+          Nest_orch.Kubelet.configure_nic kubelet ~netns ~mac ~ip ~subnet
+            ~gateway:gw
+            ~k:(fun _dev ->
+              config.assignments <- (netns, ip) :: config.assignments;
+              k netns)
+            ())
+      ()
   in
   { Nest_orch.Cni.cni_name = "brfusion"; add }
 

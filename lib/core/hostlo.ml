@@ -40,17 +40,32 @@ let plugin config =
         ~name:(Printf.sprintf "%s@%s" pod_name (Nest_virt.Vm.name vm))
         ~with_loopback:false ()
     in
-    Nest_virt.Vmm.hotplug_hostlo_endpoint_mac config.vmm ~vm
-      ~hostlo:(Tap.name tap)
-      ~id:(Printf.sprintf "hlo-%s-%d" pod_name n)
-      ~k:(fun mac ->
-        (* The VM agent configures the endpoint as the fraction's
-           localhost (§4.1 step 4). *)
-        Nest_orch.Kubelet.configure_nic
-          (Nest_orch.Kubelet.of_node node)
-          ~netns ~mac ~ip:Ipv4.localhost ~subnet:lo_subnet
-          ~k:(fun _dev -> k netns)
-          ())
+    let kubelet = Nest_orch.Kubelet.of_node node in
+    Nest_orch.Kubelet.hotplug_with_retry kubelet
+      ~issue:(fun ~k ->
+        Nest_virt.Vmm.hotplug_hostlo_endpoint_mac config.vmm ~vm
+          ~hostlo:(Tap.name tap)
+          ~id:(Printf.sprintf "hlo-%s-%d" pod_name n)
+          ~k)
+      ~k:(fun r ->
+        match r with
+        | Error e ->
+          let engine = Nest_virt.Host.engine (Nest_virt.Vmm.host config.vmm) in
+          Nest_sim.Metrics.bump
+            (Nest_sim.Metrics.counter
+               (Nest_sim.Engine.metrics engine)
+               "fault.pod_setup_failed")
+            ();
+          Nest_sim.Engine.trace_instant engine ~cat:"fault"
+            ~name:"pod_setup_failed" ~arg:(pod_name ^ ": " ^ e) ()
+        | Ok mac ->
+          (* The VM agent configures the endpoint as the fraction's
+             localhost (§4.1 step 4). *)
+          Nest_orch.Kubelet.configure_nic kubelet ~netns ~mac
+            ~ip:Ipv4.localhost ~subnet:lo_subnet
+            ~k:(fun _dev -> k netns)
+            ())
+      ()
   in
   { Nest_orch.Cni.cni_name = "hostlo"; add }
 

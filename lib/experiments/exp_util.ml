@@ -21,13 +21,15 @@ module Obs = struct
     mutable metrics : bool;
     mutable json : bool;
     mutable provenance : bool;
+    mutable prov_sample : int;
     mutable timeline : bool;
     mutable timeline_period : Time.ns;
   }
 
   let cfg =
     { trace = false; trace_capacity = 8192; metrics = false; json = false;
-      provenance = false; timeline = false; timeline_period = Time.ms 1 }
+      provenance = false; prov_sample = 1; timeline = false;
+      timeline_period = Time.ms 1 }
 
   type attachment = {
     at_label : string;
@@ -46,15 +48,22 @@ module Obs = struct
     Mutex.lock attached_mu;
     Fun.protect ~finally:(fun () -> Mutex.unlock attached_mu) f
 
-  let configure ?trace ?trace_capacity ?metrics ?json ?provenance ?timeline
-      ?timeline_period () =
+  let configure ?trace ?trace_capacity ?metrics ?json ?provenance ?prov_sample
+      ?timeline ?timeline_period () =
     Option.iter (fun v -> cfg.trace <- v) trace;
     Option.iter (fun v -> cfg.trace_capacity <- v) trace_capacity;
     Option.iter (fun v -> cfg.metrics <- v) metrics;
     Option.iter (fun v -> cfg.json <- v) json;
     Option.iter (fun v -> cfg.provenance <- v) provenance;
+    Option.iter
+      (fun v ->
+        cfg.prov_sample <- max 1 v;
+        Nest_sim.Provenance.set_sampling cfg.prov_sample)
+      prov_sample;
     Option.iter (fun v -> cfg.timeline <- v) timeline;
     Option.iter (fun v -> cfg.timeline_period <- v) timeline_period
+
+  let prov_sample () = cfg.prov_sample
 
   let enabled () = cfg.trace || cfg.metrics || cfg.provenance || cfg.timeline
   let provenance_on () = cfg.provenance

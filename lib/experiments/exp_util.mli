@@ -17,12 +17,14 @@ val durations : quick:bool -> durations
 module Obs : sig
   val configure :
     ?trace:bool -> ?trace_capacity:int -> ?metrics:bool -> ?json:bool ->
-    ?provenance:bool -> ?timeline:bool -> ?timeline_period:Nest_sim.Time.ns ->
-    unit -> unit
+    ?provenance:bool -> ?prov_sample:int -> ?timeline:bool ->
+    ?timeline_period:Nest_sim.Time.ns -> unit -> unit
   (** Unspecified fields keep their previous value.  Defaults: everything
       off, capacity 8192, text output, 1 ms timeline period.
       [provenance] makes the [deploy_*_sync] helpers switch per-packet
-      latency provenance on in the deployed namespaces; [timeline]
+      latency provenance on in the deployed namespaces; [prov_sample]
+      sets the global 1-in-N provenance sampling period (clamped to >= 1,
+      forwarded to {!Nest_sim.Provenance.set_sampling}); [timeline]
       samples each testbed's CPU account at [timeline_period] cadence. *)
 
   val enabled : unit -> bool
@@ -30,6 +32,9 @@ module Obs : sig
       is on. *)
 
   val provenance_on : unit -> bool
+
+  val prov_sample : unit -> int
+  (** Current provenance sampling period as set through [configure]. *)
 
   val attach : Testbed.t -> label:string -> unit
   (** Registers the testbed's engine for the next [dump]; installs a

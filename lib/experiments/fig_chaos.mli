@@ -1,0 +1,12 @@
+(** Chaos experiment: availability and recovery-latency percentiles
+    under injected faults, across the four deployment modes.  Cells fan
+    out over {!Exp_util.Par}; output order is deterministic. *)
+
+val default_rates : float list
+
+val run : ?rates:float list -> ?seed:int64 -> quick:bool -> unit -> unit
+
+val check : ?seed:int64 -> ?jobs:int -> quick:bool -> unit -> bool
+(** Determinism guard: runs a fixed cell set sequentially, fanned across
+    [jobs] domains, and sequentially again; compares {!Nest_fault.Chaos.digest}
+    per cell and prints a verdict.  [true] iff all digests match. *)

@@ -86,7 +86,7 @@ let memcached_runner ~quick tb ep _mode =
 let fig6 ~quick =
   Exp_util.header "Fig. 6 — Kafka CPU breakdown (cores busy)";
   let rows =
-    List.map
+    Exp_util.Par.map
       (fun mode ->
         ( Modes.single_to_string mode,
           single_breakdown ~quick ~port:9092 ~runner:(kafka_runner ~quick) mode
@@ -101,7 +101,7 @@ let fig6 ~quick =
 let fig7 ~quick =
   Exp_util.header "Fig. 7 — NGINX CPU breakdown (cores busy)";
   let rows =
-    List.map
+    Exp_util.Par.map
       (fun mode ->
         ( Modes.single_to_string mode,
           single_breakdown ~quick ~port:80
@@ -117,7 +117,7 @@ let fig7 ~quick =
 let fig14 ~quick =
   Exp_util.header "Fig. 14 — Memcached CPU usage, intra-pod modes (cores busy)";
   let rows =
-    List.map
+    Exp_util.Par.map
       (fun mode ->
         ( Modes.pair_to_string mode,
           pair_breakdown ~quick ~port:11211 ~runner:(memcached_runner ~quick)
@@ -143,7 +143,7 @@ let fig14 ~quick =
 let fig15 ~quick =
   Exp_util.header "Fig. 15 — NGINX CPU usage, intra-pod modes (cores busy)";
   let rows =
-    List.map
+    Exp_util.Par.map
       (fun mode ->
         ( Modes.pair_to_string mode,
           pair_breakdown ~quick ~port:80

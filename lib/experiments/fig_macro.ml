@@ -23,35 +23,64 @@ type single_macro = {
   kf_lat : float * float;
 }
 
-let run_single_mode ~quick mode =
+(* Each (mode, app) cell deploys its own testbed, so the whole grid can
+   fan out over the domain pool; results are regrouped per mode below. *)
+let run_single_cell ~quick mode app =
   let d = Exp_util.durations ~quick in
-  let run_mc () =
+  match app with
+  | `Mc ->
     let tb, site = Exp_util.deploy_single_sync ~mode ~port:11211 () in
     let ep = App.of_single tb site in
-    Memcached.run tb ep ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ()
-  in
-  let run_ng () =
+    `Mc
+      (Memcached.run tb ep ~warmup:d.Exp_util.warmup
+         ~duration:d.Exp_util.measure ())
+  | `Ng ->
     let tb, site = Exp_util.deploy_single_sync ~mode ~port:80 () in
     let ep = App.of_single tb site in
-    Nginx.run tb ep ~containerized:(mode <> `NoCont) ~warmup:d.Exp_util.warmup
-      ~duration:d.Exp_util.measure ()
-  in
-  let run_kf () =
+    `Ng
+      (Nginx.run tb ep ~containerized:(mode <> `NoCont)
+         ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ())
+  | `Kf ->
     let tb, site = Exp_util.deploy_single_sync ~mode ~port:9092 () in
     let ep = App.of_single tb site in
-    Kafka.run tb ep ~containerized:(mode <> `NoCont) ~warmup:d.Exp_util.warmup
-      ~duration:d.Exp_util.measure ()
-  in
-  let mc = run_mc () and ng = run_ng () and kf = run_kf () in
-  { mc_resp_s = mc.Memcached.responses_per_sec;
-    mc_lat = (Stats.mean mc.Memcached.latency, Stats.stddev mc.Memcached.latency);
-    ng_lat = (Stats.mean ng.Nginx.latency, Stats.stddev ng.Nginx.latency);
-    kf_lat = (Stats.mean kf.Kafka.latency, Stats.stddev kf.Kafka.latency) }
+    `Kf
+      (Kafka.run tb ep ~containerized:(mode <> `NoCont)
+         ~warmup:d.Exp_util.warmup ~duration:d.Exp_util.measure ())
 
 let fig5 ~quick =
   Exp_util.header "Fig. 5 — BrFusion macro-benchmark gain";
+  let cells =
+    List.concat_map
+      (fun m -> List.map (fun a -> (m, a)) [ `Mc; `Ng; `Kf ])
+      Modes.all_single
+  in
+  let outs =
+    Exp_util.Par.map (fun (m, a) -> (m, run_single_cell ~quick m a)) cells
+  in
   let results =
-    List.map (fun m -> (m, run_single_mode ~quick m)) Modes.all_single
+    List.map
+      (fun m ->
+        let find p =
+          match
+            List.find_map (fun (m', o) -> if m' = m then p o else None) outs
+          with
+          | Some r -> r
+          | None -> assert false
+        in
+        let mc = find (function `Mc r -> Some r | _ -> None) in
+        let ng = find (function `Ng r -> Some r | _ -> None) in
+        let kf = find (function `Kf r -> Some r | _ -> None) in
+        ( m,
+          { mc_resp_s = mc.Memcached.responses_per_sec;
+            mc_lat =
+              ( Stats.mean mc.Memcached.latency,
+                Stats.stddev mc.Memcached.latency );
+            ng_lat =
+              (Stats.mean ng.Nginx.latency, Stats.stddev ng.Nginx.latency);
+            kf_lat =
+              (Stats.mean kf.Kafka.latency, Stats.stddev kf.Kafka.latency) }
+        ))
+      Modes.all_single
   in
   Printf.printf "%-10s %14s %18s %18s %18s\n" "mode" "mc resp/s"
     "mc lat us (sd)" "nginx lat us (sd)" "kafka lat us (sd)";
@@ -80,7 +109,9 @@ let run_pair_mc ~quick mode =
 
 let fig11 ~quick =
   Exp_util.header "Fig. 11 — Memcached throughput, intra-pod modes";
-  let results = List.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair in
+  let results =
+    Exp_util.Par.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair
+  in
   Printf.printf "%-10s %14s\n" "mode" "responses/s";
   List.iter
     (fun (m, r) ->
@@ -93,7 +124,9 @@ let fig11 ~quick =
 
 let fig12 ~quick =
   Exp_util.header "Fig. 12 — Memcached latency + variability, intra-pod modes";
-  let results = List.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair in
+  let results =
+    Exp_util.Par.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair
+  in
   Printf.printf "%-10s %14s %12s %12s %12s\n" "mode" "lat mean(us)" "sd(us)"
     "p50(us)" "p99(us)";
   List.iter
@@ -114,7 +147,7 @@ let fig13 ~quick =
   Exp_util.header "Fig. 13 — NGINX latency, intra-pod modes";
   let d = Exp_util.durations ~quick in
   let results =
-    List.map
+    Exp_util.Par.map
       (fun mode ->
         let tb, site = Exp_util.deploy_pair_sync ~mode ~port:80 () in
         let ep = App.of_pair site in

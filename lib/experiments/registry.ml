@@ -69,7 +69,10 @@ let ablations =
       run = (fun ~quick -> Ext_autopilot.run ~quick) };
     { id = "ext-mempipe";
       description = "Extension: MemPipe shared memory vs Hostlo (section 6)";
-      run = (fun ~quick -> Ext_mempipe.run ~quick) } ]
+      run = (fun ~quick -> Ext_mempipe.run ~quick) };
+    { id = "chaos";
+      description = "Fault injection & recovery: availability per mode";
+      run = (fun ~quick -> Fig_chaos.run ~quick ()) } ]
 
 let find id = List.find_opt (fun e -> e.id = id) (all @ ablations)
 let ids () = List.map (fun e -> e.id) (all @ ablations)

@@ -1,0 +1,362 @@
+(* The chaos experiment cell: one mode, one fault rate, one testbed.
+
+   Two overlapping phases on a 2-VM testbed:
+
+   - a pod-start storm through the Kube control plane, with the plan's
+     QMP fault rates live — measures time-to-ready under management-plane
+     faults and how many hot-plug retries the kubelets needed;
+   - a probed echo service whose serving VM is crashed (and supervisor-
+     restarted) on a fixed trial schedule — measures availability
+     (replies/probes) and recovery latency (first reply after each
+     crash), with the orchestrator rescheduling the dead node's pods and
+     the service being re-established through the mode's own CNI path.
+
+   The cell owns everything (engine, testbed, plugin configs, injector),
+   so cells are independent and safe to run from [Exp_util.Par] workers;
+   all randomness is the testbed seed plus the plan's private stream, so
+   a (mode, rate, seed) triple is fully deterministic. *)
+
+open Nest_net
+open Nestfusion
+module Engine = Nest_sim.Engine
+module Time = Nest_sim.Time
+module Metrics = Nest_sim.Metrics
+module Vm = Nest_virt.Vm
+module Cni = Nest_orch.Cni
+module Kube = Nest_orch.Kube
+module Node = Nest_orch.Node
+module Pod = Nest_orch.Pod
+
+type mode = [ `Nat | `Brfusion | `Overlay | `Hostlo ]
+
+let mode_to_string = function
+  | `Nat -> "nat"
+  | `Brfusion -> "brfusion"
+  | `Overlay -> "overlay"
+  | `Hostlo -> "hostlo"
+
+let all_modes : mode list = [ `Nat; `Brfusion; `Overlay; `Hostlo ]
+
+type outcome = {
+  o_mode : string;
+  o_rate : float;
+  o_pods : int;             (* storm pods requested *)
+  o_ready : int;            (* distinct storm pods that reached ready *)
+  o_lost : int;             (* evicted pods no surviving node could take *)
+  o_setup_failed : int;     (* pod setups abandoned after all retries *)
+  o_retries : int;          (* hot-plug retries spent by kubelets *)
+  o_ttr_p50_ms : float;     (* storm time-to-ready *)
+  o_ttr_p99_ms : float;
+  o_sent : int;             (* service probes *)
+  o_recv : int;
+  o_availability : float;
+  o_crashes : int;
+  o_recovered : float list; (* recovery latency per recovered crash, ms *)
+  o_rec_p50_ms : float;
+  o_rec_p99_ms : float;
+  o_unrecovered : int;      (* crashes with no reply before the next one *)
+  o_timeline : (Time.ns * string) list;
+}
+
+let ms_of_ns ns = float_of_int ns /. 1e6
+
+(* Nearest-rank percentile; 0.0 for an empty sample. *)
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let run_cell ?(quick = false) ?pods ~(mode : mode) ~rate ~seed () =
+  let tb = Testbed.create ~seed ~num_vms:2 () in
+  let engine = tb.Testbed.engine in
+  let k_pods =
+    match pods with Some k -> k | None -> if quick then 4 else 6
+  in
+  let trials = if quick then 2 else 3 in
+  let spacing = if quick then Time.ms 1500 else Time.sec 2 in
+  let probe_start = Time.sec 1 in
+  let probe_period = Time.ms 2 in
+  let restart_after = Time.ms 400 in
+  let probe_end = probe_start + (trials * spacing) in
+  let horizon = probe_end + Time.ms 500 in
+  let port = 7000 in
+
+  (* Mode plumbing: one CNI plugin serves both the storm (via Kube) and
+     the probed service (driven directly, to control placement). *)
+  let brf_config =
+    lazy (Brfusion.make_config tb.Testbed.vmm ~host_bridge:"virbr0")
+  in
+  let hlo_config = lazy (Hostlo.make_config tb.Testbed.vmm) in
+  let overlay =
+    lazy
+      (Nest_orch.Cni_overlay.create ~name:"chaos-ov" ~vni:4242
+         ~subnet:(Ipv4.cidr_of_string "10.44.0.0/16"))
+  in
+  let plugin =
+    match mode with
+    | `Nat -> Nest_orch.Cni_bridge.plugin ()
+    | `Brfusion -> Brfusion.plugin (Lazy.force brf_config)
+    | `Overlay -> Nest_orch.Cni_overlay.plugin (Lazy.force overlay)
+    | `Hostlo -> Hostlo.plugin (Lazy.force hlo_config)
+  in
+  let kube = Kube.create engine ~default_cni:plugin in
+  Kube.add_node kube (Testbed.node tb 0);
+  Kube.add_node kube (Testbed.node tb 1);
+  let node_by_vm =
+    ref [ ("vm1", Testbed.node tb 0); ("vm2", Testbed.node tb 1) ]
+  in
+  let server_vm = match mode with `Nat | `Brfusion -> "vm1" | _ -> "vm2" in
+
+  (* ---- the probed echo service ---- *)
+  let srv_sock = ref None in
+  let start_echo ns =
+    (match !srv_sock with
+    | Some s -> (try Stack.Udp.close s with _ -> ())
+    | None -> ());
+    srv_sock :=
+      Some
+        (Stack.Udp.bind ns ~port (fun sock ~src:(sip, sp) payload ->
+             Stack.Udp.sendto sock ~dst:sip ~dst_port:sp payload))
+  in
+  let target = ref None in
+  let probe_sock = ref None in
+  let sent = ref 0 in
+  let recv_times = ref [] in
+  let ensure_probe_sock ns =
+    match !probe_sock with
+    | Some _ -> ()
+    | None ->
+      probe_sock :=
+        Some
+          (Stack.Udp.bind ns ~port:0 (fun _ ~src:_ _ ->
+               recv_times := Engine.now engine :: !recv_times))
+  in
+  let gen = ref 0 in
+  let deploy_server node =
+    incr gen;
+    let name =
+      if !gen = 1 then "svc" else Printf.sprintf "svc-r%d" (!gen - 1)
+    in
+    match mode with
+    | `Nat ->
+      (* Published port: the client targets the VM address, which the
+         restart reuses — the target never moves. *)
+      plugin.Cni.add ~pod_name:name ~node ~publish:[ (port, port) ]
+        ~k:(fun ns ->
+          start_echo ns;
+          target := Some (Ipv4.of_string "10.0.0.2", port))
+    | `Brfusion ->
+      plugin.Cni.add ~pod_name:name ~node ~publish:[] ~k:(fun ns ->
+          start_echo ns;
+          match Brfusion.pod_ip (Lazy.force brf_config) ns with
+          | Some ip -> target := Some (ip, port)
+          | None -> ())
+    | `Overlay ->
+      plugin.Cni.add ~pod_name:(name ^ "-b") ~node ~publish:[] ~k:(fun ns ->
+          start_echo ns;
+          match Nest_orch.Cni_overlay.pod_ip (Lazy.force overlay) ns with
+          | Some ip -> target := Some (ip, port)
+          | None -> ())
+    | `Hostlo ->
+      (* Same pod name every generation: each re-deploy is one more
+         fraction, i.e. a fresh queue on the *persisting* reflector — the
+         detach/reattach story of §4. *)
+      plugin.Cni.add ~pod_name:"svc" ~node ~publish:[] ~k:(fun ns ->
+          start_echo ns;
+          target := Some (Ipv4.localhost, port))
+  in
+  (match mode with
+  | `Nat | `Brfusion -> ensure_probe_sock tb.Testbed.client_ns
+  | `Overlay ->
+    plugin.Cni.add ~pod_name:"svc-a" ~node:(Testbed.node tb 0) ~publish:[]
+      ~k:ensure_probe_sock
+  | `Hostlo ->
+    plugin.Cni.add ~pod_name:"svc" ~node:(Testbed.node tb 0) ~publish:[]
+      ~k:ensure_probe_sock);
+  deploy_server
+    (Testbed.node tb (match mode with `Nat | `Brfusion -> 0 | _ -> 1));
+  let rec tick () =
+    if Engine.now engine < probe_end then begin
+      (* Every tick counts as an offered probe: a service whose setup is
+         still being retried is just as unavailable as a crashed one. *)
+      incr sent;
+      (match (!probe_sock, !target) with
+      | Some sock, Some (ip, p) ->
+        Stack.Udp.sendto sock ~dst:ip ~dst_port:p (Payload.raw 64)
+      | _ -> ());
+      Engine.schedule engine ~label:"chaos:probe" ~delay:probe_period tick
+    end
+  in
+  Engine.schedule_at engine ~label:"chaos:probe" ~at:probe_start tick;
+
+  (* ---- the pod-start storm ---- *)
+  let ready = Hashtbl.create 16 in
+  for i = 1 to k_pods do
+    let pod =
+      Pod.make
+        ~name:(Printf.sprintf "storm-%d" i)
+        [ Pod.container ~name:"c" ~cpu:0.4 ~mem:0.3 () ]
+    in
+    Kube.deploy_pod kube pod
+      ~on_ready:(fun d ->
+        let n = d.Kube.dep_pod.Pod.pod_name in
+        if not (Hashtbl.mem ready n) then
+          Hashtbl.replace ready n (Engine.now engine))
+      ()
+  done;
+
+  (* ---- recovery wiring + the fault plan ---- *)
+  let crash_times = ref [] in
+  let lost = ref 0 in
+  let on_vm_crash vm_name =
+    crash_times := Engine.now engine :: !crash_times;
+    match List.assoc_opt vm_name !node_by_vm with
+    | None -> ()
+    | Some node ->
+      let _rescheduled, l =
+        Kube.reschedule_node_failure kube ~node ~on_ready:(fun d ->
+            let n = d.Kube.dep_pod.Pod.pod_name in
+            if not (Hashtbl.mem ready n) then
+              Hashtbl.replace ready n (Engine.now engine))
+      in
+      lost := !lost + l
+  in
+  let on_vm_restart vm' =
+    let name = Vm.name vm' in
+    let node' = Node.create vm' in
+    node_by_vm := (name, node') :: List.remove_assoc name !node_by_vm;
+    Kube.add_node kube node';
+    if String.equal name server_vm then deploy_server node'
+  in
+  let crash_events =
+    List.init trials (fun i ->
+        Fault_plan.Vm_crash
+          {
+            at = probe_start + Time.ms 200 + (i * spacing);
+            vm = server_vm;
+            restart_after = Some restart_after;
+          })
+  in
+  let noise_events =
+    if rate <= 0. then []
+    else begin
+      let base =
+        probe_start + Time.ms 200 + ((trials - 1) * spacing) + Time.ms 700
+      in
+      let tap =
+        match mode with
+        | `Hostlo -> "hostlo-svc"
+        | `Overlay -> "tap-vm2"
+        | `Nat | `Brfusion -> "tap-vm1"
+      in
+      [
+        Fault_plan.Tap_exhaust { at = base; tap; duration = Time.ms 100 };
+        Fault_plan.Conntrack_clamp
+          { at = base; scope = `Host; capacity = 8; duration = Time.ms 150 };
+        Fault_plan.Corrupt_burst
+          {
+            at = base;
+            vm = server_vm;
+            prob = Float.min 0.05 (rate /. 10.);
+            duration = Time.ms 200;
+          };
+      ]
+    end
+  in
+  let qmp =
+    if rate <= 0. then None
+    else
+      Some
+        (Fault_plan.qmp_rule ~fail_prob:(Float.min 0.9 rate)
+           ~timeout_prob:(Float.min 0.45 (rate /. 2.))
+           ~timeout_ns:(Time.ms 300) ())
+  in
+  let plan =
+    Fault_plan.make ~seed:(Int64.add seed 1000L) ?qmp
+      ~events:(crash_events @ noise_events) ()
+  in
+  let inj = Injector.install ~on_vm_crash ~on_vm_restart plan tb in
+
+  Testbed.run_until tb horizon;
+
+  (* ---- harvest ---- *)
+  let replies = List.rev !recv_times in
+  let crashes = List.rev !crash_times in
+  let recovered, unrecovered =
+    let rec windows acc miss = function
+      | [] -> (List.rev acc, miss)
+      | c :: rest ->
+        let window_end =
+          match rest with [] -> probe_end | c' :: _ -> c'
+        in
+        (match
+           List.find_opt (fun r -> r > c && r <= window_end) replies
+         with
+        | Some r -> windows (ms_of_ns (r - c) :: acc) miss rest
+        | None -> windows acc (miss + 1) rest)
+    in
+    windows [] 0 crashes
+  in
+  let metrics = Engine.metrics engine in
+  let counter name =
+    Metrics.counter_value (Metrics.counter metrics name)
+  in
+  let ttr = Hashtbl.fold (fun _ at acc -> ms_of_ns at :: acc) ready [] in
+  {
+    o_mode = mode_to_string mode;
+    o_rate = rate;
+    o_pods = k_pods;
+    o_ready = Hashtbl.length ready;
+    o_lost = !lost;
+    o_setup_failed = counter "fault.pod_setup_failed";
+    o_retries = counter "recovery.hotplug_retries";
+    o_ttr_p50_ms = percentile ttr 50.;
+    o_ttr_p99_ms = percentile ttr 99.;
+    o_sent = !sent;
+    o_recv = List.length replies;
+    o_availability =
+      (if !sent = 0 then 0.0
+       else float_of_int (List.length replies) /. float_of_int !sent);
+    o_crashes = List.length crashes;
+    o_recovered = recovered;
+    o_rec_p50_ms = percentile recovered 50.;
+    o_rec_p99_ms = percentile recovered 99.;
+    o_unrecovered = unrecovered;
+    o_timeline = Injector.timeline inj;
+  }
+
+(* Canonical rendering: everything determinism must cover — the fault
+   timeline and every derived statistic.  Digest equality across runs
+   and [--jobs] levels is the reproducibility guard CI asserts. *)
+let render o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "%s rate=%.3f pods=%d ready=%d lost=%d setup_failed=%d retries=%d \
+        ttr=[%.3f %.3f] sent=%d recv=%d avail=%.6f crashes=%d unrec=%d\n"
+       o.o_mode o.o_rate o.o_pods o.o_ready o.o_lost o.o_setup_failed
+       o.o_retries o.o_ttr_p50_ms o.o_ttr_p99_ms o.o_sent o.o_recv
+       o.o_availability o.o_crashes o.o_unrecovered);
+  List.iter
+    (fun r -> Buffer.add_string b (Printf.sprintf "rec %.6f\n" r))
+    o.o_recovered;
+  List.iter
+    (fun (at, msg) -> Buffer.add_string b (Printf.sprintf "%d %s\n" at msg))
+    o.o_timeline;
+  Buffer.contents b
+
+let digest o = Digest.to_hex (Digest.string (render o))
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%-9s rate %.2f | storm %d/%d ready (lost %d, failed %d, %d retries) \
+     ttr p50 %.1f p99 %.1f ms | avail %.4f (%d/%d) | recovery p50 %.1f p99 \
+     %.1f ms (%d/%d recovered)"
+    o.o_mode o.o_rate o.o_ready o.o_pods o.o_lost o.o_setup_failed o.o_retries
+    o.o_ttr_p50_ms o.o_ttr_p99_ms o.o_availability o.o_recv o.o_sent
+    o.o_rec_p50_ms o.o_rec_p99_ms
+    (List.length o.o_recovered)
+    o.o_crashes

@@ -1,0 +1,58 @@
+(** The chaos experiment cell: one deployment mode, one fault rate, one
+    private testbed.
+
+    Each cell runs a pod-start storm through the orchestrator under the
+    plan's QMP fault rates (time-to-ready, hot-plug retries, setups
+    abandoned) concurrently with a probed UDP echo service whose serving
+    VM is crashed and supervisor-restarted on a fixed trial schedule
+    (availability, per-crash recovery latency).  Recovery goes through
+    the production paths: kubelet retry with exponential backoff,
+    rescheduling of the dead node's pods, and re-establishment of the
+    service through the mode's own CNI — for Hostlo, a fresh queue on
+    the reflector that survived the member VM's death.
+
+    Cells are self-contained and deterministic in (mode, rate, seed);
+    {!digest} is the bit-identity guard CI compares across runs and
+    [--jobs] levels. *)
+
+type mode = [ `Nat | `Brfusion | `Overlay | `Hostlo ]
+
+val mode_to_string : mode -> string
+val all_modes : mode list
+
+type outcome = {
+  o_mode : string;
+  o_rate : float;
+  o_pods : int;             (** storm pods requested *)
+  o_ready : int;            (** distinct storm pods that reached ready *)
+  o_lost : int;             (** evicted pods no surviving node could take *)
+  o_setup_failed : int;     (** pod setups abandoned after all retries *)
+  o_retries : int;          (** hot-plug retries spent by kubelets *)
+  o_ttr_p50_ms : float;
+  o_ttr_p99_ms : float;
+  o_sent : int;
+  o_recv : int;
+  o_availability : float;
+  o_crashes : int;
+  o_recovered : float list; (** recovery latency per recovered crash, ms *)
+  o_rec_p50_ms : float;
+  o_rec_p99_ms : float;
+  o_unrecovered : int;
+  o_timeline : (Nest_sim.Time.ns * string) list;
+}
+
+val run_cell :
+  ?quick:bool -> ?pods:int -> mode:mode -> rate:float -> seed:int64 ->
+  unit -> outcome
+(** [quick] shrinks the storm and the crash-trial count for smoke runs.
+    [rate] drives the management-plane fault probabilities and the
+    data-plane noise events; crash trials are always present (they are
+    the recovery measurement). *)
+
+val render : outcome -> string
+(** Canonical text form covering the fault timeline and every statistic. *)
+
+val digest : outcome -> string
+(** MD5 hex of {!render} — equal digests mean bit-identical cells. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

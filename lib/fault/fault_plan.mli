@@ -1,0 +1,69 @@
+(** Declarative fault schedules.
+
+    A plan is pure data — fault rates for the management plane plus
+    discrete fault events pinned to virtual times.  {!Injector.install}
+    binds a plan to a live testbed.  Separating description from
+    machinery is what makes chaos runs reproducible: the same
+    (plan, engine seed) pair always yields the same fault timeline,
+    bit-identical under [--jobs N]. *)
+
+module Time = Nest_sim.Time
+
+type qmp_rule = {
+  fail_prob : float;      (** P(command answered with Error) *)
+  timeout_prob : float;   (** P(command times out), rolled after fail *)
+  timeout_ns : Time.ns;   (** wait before a timed-out caller learns *)
+}
+
+val qmp_rule :
+  ?fail_prob:float -> ?timeout_prob:float -> ?timeout_ns:Time.ns -> unit ->
+  qmp_rule
+(** Defaults: both probabilities 0, timeout 500 ms. *)
+
+type event =
+  | Vm_crash of { at : Time.ns; vm : string; restart_after : Time.ns option }
+      (** QEMU process death; optionally supervised restart. *)
+  | Link_down of { at : Time.ns; vm : string; duration : Time.ns }
+      (** Administrative down on every NIC of the VM's root namespace. *)
+  | Link_flap of {
+      at : Time.ns;
+      vm : string;
+      down_ns : Time.ns;
+      up_ns : Time.ns;
+      cycles : int;
+    }
+  | Tap_exhaust of { at : Time.ns; tap : string; duration : Time.ns }
+      (** Full vhost rings: the named tap drops everything for a while. *)
+  | Conntrack_clamp of {
+      at : Time.ns;
+      scope : [ `Host | `Vm of string ];
+      capacity : int;
+      duration : Time.ns;
+    }
+      (** nf_conntrack table clamp: new flows dropped while full. *)
+  | Corrupt_burst of {
+      at : Time.ns;
+      vm : string;
+      prob : float;
+      duration : Time.ns;
+    }
+      (** Receive-side FCS failures, beyond what Netem's loss models. *)
+
+type t = {
+  seed : int64;           (** seeds the injector's private Prng stream *)
+  qmp : qmp_rule option;
+  events : event list;
+}
+
+val empty : t
+(** No faults at all.  Installing it is free: no hooks, no scheduled
+    events, no RNG draws — runs are bit-identical to no injector. *)
+
+val make : ?seed:int64 -> ?qmp:qmp_rule -> ?events:event list -> unit -> t
+
+val is_empty : t -> bool
+
+val event_at : event -> Time.ns
+val event_name : event -> string
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -40,9 +40,32 @@ type t = {
   table : (flow, rewrite) Hashtbl.t;
   mutable next_port : int;
   mutable gen : int;
+  mutable capacity : int option;
+  mutable ct_drops : int;
 }
 
-let create () = { table = Hashtbl.create 64; next_port = 32768; gen = 0 }
+let create () =
+  { table = Hashtbl.create 64; next_port = 32768; gen = 0; capacity = None;
+    ct_drops = 0 }
+
+let set_capacity t c = t.capacity <- c
+let capacity t = t.capacity
+let drops t = t.ct_drops
+
+(* nf_conntrack admission: an established flow always passes; a new flow
+   needs room for its forward+reply binding pair.  When there is none the
+   packet must be dropped by the caller ("table full, dropping packet"). *)
+let admit t p =
+  match t.capacity with
+  | None -> true
+  | Some cap ->
+    let f = flow_of_packet p in
+    if Hashtbl.mem t.table f then true
+    else if Hashtbl.length t.table + 2 <= cap then true
+    else begin
+      t.ct_drops <- t.ct_drops + 1;
+      false
+    end
 
 let alloc_port t =
   let p = t.next_port in

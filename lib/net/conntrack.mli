@@ -39,6 +39,23 @@ val translate : t -> Packet.t -> Packet.t * bool
 
 val entry_count : t -> int
 
+val set_capacity : t -> int option -> unit
+(** Fault injection: clamp the table to at most [n] bindings ([None], the
+    default, is unlimited).  Enforced through {!admit} at the netfilter
+    layer, not inside {!snat}/{!dnat}. *)
+
+val capacity : t -> int option
+
+val admit : t -> Packet.t -> bool
+(** [admit t p] is [true] when [p]'s flow is already bound or the table
+    has room for a new forward+reply pair.  Returns [false] — and counts
+    a drop — when a new binding would exceed the capacity clamp; the
+    caller must then drop the packet (Linux "nf_conntrack: table full,
+    dropping packet"). *)
+
+val drops : t -> int
+(** Packets refused by {!admit} because the table was full. *)
+
 val generation : t -> int
 (** Monotonic counter bumped whenever a new binding pair is created.
     Lets callers (the stack's flow cache) detect staleness with one

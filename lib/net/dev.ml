@@ -17,6 +17,7 @@ type t = {
   stats : stats;
   mutable tx_fn : Frame.t -> unit;
   mutable rx_fn : (Frame.t -> unit) option;
+  mutable corrupt_fn : (Frame.t -> bool) option;
 }
 
 let create ?(mtu = 1500) ?(l2 = Normal) ~name ~mac () =
@@ -24,7 +25,8 @@ let create ?(mtu = 1500) ?(l2 = Normal) ~name ~mac () =
     { rx_packets = 0; rx_bytes = 0; tx_packets = 0; tx_bytes = 0; drops = 0 }
   in
   let t =
-    { name; mac; mtu; up = true; l2; stats; tx_fn = (fun _ -> ()); rx_fn = None }
+    { name; mac; mtu; up = true; l2; stats; tx_fn = (fun _ -> ()); rx_fn = None;
+      corrupt_fn = None }
   in
   t.tx_fn <- (fun _ -> stats.drops <- stats.drops + 1);
   t
@@ -32,6 +34,8 @@ let create ?(mtu = 1500) ?(l2 = Normal) ~name ~mac () =
 let set_tx t f = t.tx_fn <- f
 let set_rx t f = t.rx_fn <- Some f
 let clear_rx t = t.rx_fn <- None
+let set_up t up = t.up <- up
+let set_corrupt t f = t.corrupt_fn <- f
 
 let transmit t frame =
   if not t.up then t.stats.drops <- t.stats.drops + 1
@@ -41,8 +45,15 @@ let transmit t frame =
     t.tx_fn frame
   end
 
+let corrupted t frame =
+  match t.corrupt_fn with None -> false | Some f -> f frame
+
 let deliver t frame =
   if not t.up then t.stats.drops <- t.stats.drops + 1
+  else if corrupted t frame then
+    (* FCS/checksum failure on receive: the frame is counted and
+       discarded before anything above the device sees it. *)
+    t.stats.drops <- t.stats.drops + 1
   else begin
     Frame.record_hop frame t.name;
     match t.rx_fn with

@@ -32,6 +32,7 @@ type t = {
   stats : stats;
   mutable tx_fn : Frame.t -> unit;
   mutable rx_fn : (Frame.t -> unit) option;
+  mutable corrupt_fn : (Frame.t -> bool) option;
 }
 
 val create : ?mtu:int -> ?l2:l2_mode -> name:string -> mac:Mac.t -> unit -> t
@@ -45,6 +46,17 @@ val set_rx : t -> (Frame.t -> unit) -> unit
 (** Installed by the stack or bridge the device is attached to. *)
 
 val clear_rx : t -> unit
+
+val set_up : t -> bool -> unit
+(** Administrative link state.  A down device counts every transmit and
+    delivery as a drop — the hook fault injection uses for link-down and
+    link-flap events. *)
+
+val set_corrupt : t -> (Frame.t -> bool) option -> unit
+(** Optional receive-side corruption oracle (fault injection).  When
+    installed and it returns [true] for a frame, the frame is discarded
+    as an FCS/checksum failure and counted in [stats.drops].  [None]
+    (the default) costs the datapath nothing. *)
 
 val transmit : t -> Frame.t -> unit
 (** Owner -> medium.  Counts tx; drops when the device is down. *)

@@ -20,8 +20,11 @@ let masquerade nf ct ~name ~src_subnet ?out_dev ~nat_ip () =
     | Some d -> ctx.Netfilter.out_dev = Some d
   in
   let action _ctx pkt =
-    note_rewrite pkt name;
-    Netfilter.Mangle (Conntrack.snat ct pkt ~to_ip:nat_ip)
+    if not (Conntrack.admit ct pkt) then Netfilter.Drop
+    else begin
+      note_rewrite pkt name;
+      Netfilter.Mangle (Conntrack.snat ct pkt ~to_ip:nat_ip)
+    end
   in
   Netfilter.append nf Netfilter.Postrouting { rule_name = name; matches; action }
 
@@ -30,8 +33,11 @@ let publish nf ct ~name ~dst_ip ~dst_port ~to_ip ~to_port =
     Ipv4.equal pkt.Packet.dst dst_ip && dst_port_of pkt = dst_port
   in
   let action _ctx pkt =
-    note_rewrite pkt name;
-    Netfilter.Mangle (Conntrack.dnat ct pkt ~to_ip ~to_port)
+    if not (Conntrack.admit ct pkt) then Netfilter.Drop
+    else begin
+      note_rewrite pkt name;
+      Netfilter.Mangle (Conntrack.dnat ct pkt ~to_ip ~to_port)
+    end
   in
   Netfilter.append nf Netfilter.Prerouting { rule_name = name; matches; action }
 

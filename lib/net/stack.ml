@@ -132,6 +132,7 @@ and ns = {
   mutable fwd : bool;
   mutable trace_all : bool;
   mutable prov_all : bool;
+  mutable prov_tick : int;  (* 1-in-N sampling countdown, see fresh_prov *)
   cnt : ns_counters;
   mutable lo : Dev.t option;
   mutable observer : (Packet.t -> unit) option;
@@ -201,9 +202,23 @@ let set_trace_all ns b = ns.trace_all <- b
 let set_provenance_all ns b = ns.prov_all <- b
 
 (* Latency-provenance record for a packet originating in this namespace;
-   [None] (the free path) unless provenance is switched on. *)
+   [None] (the free path) unless provenance is switched on.  With
+   [Provenance.set_sampling n > 1], only every n-th eligible packet gets
+   a record — the counter is per-namespace and advanced in send order,
+   so the sampled subset is deterministic across runs and [--jobs N]. *)
 let fresh_prov ns =
-  if ns.prov_all then Some (Nest_sim.Provenance.create ()) else None
+  if not ns.prov_all then None
+  else
+    let n = Nest_sim.Provenance.sampling () in
+    if n <= 1 then Some (Nest_sim.Provenance.create ())
+    else begin
+      ns.prov_tick <- ns.prov_tick + 1;
+      if ns.prov_tick >= n then begin
+        ns.prov_tick <- 0;
+        Some (Nest_sim.Provenance.create ())
+      end
+      else None
+    end
 let set_observer ns f = ns.observer <- f
 let loopback_dev ns = ns.lo
 
@@ -1032,7 +1047,7 @@ let create engine ~name ~costs ?(with_loopback = true) () =
       listeners = Hashtbl.create 8; conns = Hashtbl.create 32;
       icmp_waiters = Hashtbl.create 4; next_eph = ephemeral_base;
       next_icmp_id = 1; fwd = false; trace_all = false; prov_all = false;
-      cnt; lo = None; observer = None;
+      prov_tick = 0; cnt; lo = None; observer = None;
       ns_rng = Nest_sim.Prng.split (Engine.rng engine);
       fc_enabled = true; fc_gen = 0; out_cache = Hashtbl.create 64;
       in_cache = Hashtbl.create 64; fc_hits = 0; fc_misses = 0 }

@@ -15,6 +15,8 @@ and t = {
   host_side : Dev.t;
   mutable queue_list : queue list;
   mutable reflected : int;
+  mutable exhausted : bool;
+  mutable tap_drops : int;
   hop_ctr : Nest_sim.Metrics.counter;
 }
 
@@ -26,6 +28,8 @@ let note_hop t frame =
 let host_input t frame =
   (* Host side -> guest(s).  With several queues the kernel hashes flows;
      we deliver to the first queue, which matches single-queue virtio. *)
+  if t.exhausted then t.tap_drops <- t.tap_drops + 1
+  else begin
   note_hop t frame;
   match t.queue_list with
   | [] -> ()
@@ -35,13 +39,14 @@ let host_input t frame =
     | Some backend ->
       Hop.service_prov ?prov:(Frame.prov frame) t.hop
         ~bytes:(Frame.len frame) (fun () -> backend frame))
+  end
 
 let create engine ~name ~mode ~hop ?(per_queue_ns = 0) ~mac () =
   Hop.set_name hop name;
   let host_side = Dev.create ~name ~mac () in
   let t =
     { tap_name = name; tap_mode = mode; engine; hop; per_queue_ns; host_side;
-      queue_list = []; reflected = 0;
+      queue_list = []; reflected = 0; exhausted = false; tap_drops = 0;
       hop_ctr =
         Nest_sim.Metrics.counter (Nest_sim.Engine.metrics engine)
           ("hop." ^ name) }
@@ -63,12 +68,27 @@ let add_queue t ~owner =
   t.queue_list <- t.queue_list @ [ q ];
   q
 
+let remove_queues t ~owner =
+  let gone, kept =
+    List.partition (fun q -> String.equal q.q_owner owner) t.queue_list
+  in
+  t.queue_list <- kept;
+  List.iter (fun q -> q.backend <- None) gone;
+  List.length gone
+
 let queues t = t.queue_list
 let queue_owner q = q.q_owner
 let queue_set_backend q f = q.backend <- Some f
+let queue_attached q = List.memq q q.tap.queue_list
+let set_exhausted t b = t.exhausted <- b
+let exhausted t = t.exhausted
+let drops t = t.tap_drops
 
 let queue_write q frame =
   let t = q.tap in
+  if t.exhausted || not (queue_attached q) then
+    t.tap_drops <- t.tap_drops + 1
+  else begin
   note_hop t frame;
   match t.tap_mode with
   | Normal ->
@@ -93,5 +113,6 @@ let queue_write q frame =
     Hop.service_prov ?prov:(Frame.prov frame)
       ~extra_ns:(t.per_queue_ns * List.length t.queue_list) t.hop
       ~bytes:(Frame.len frame) deliver_all
+  end
 
 let reflected t = t.reflected

@@ -44,6 +44,12 @@ val host_dev : t -> Dev.t
 val add_queue : t -> owner:string -> queue
 (** New RX/TX queue; [owner] names the VM it will serve (diagnostics). *)
 
+val remove_queues : t -> owner:string -> int
+(** Detach (and orphan) every queue owned by [owner], returning how many
+    were removed.  Used when a member VM crashes: the Hostlo reflector
+    must stop reflecting into the dead VM's rings.  Writes arriving on a
+    detached queue are counted as drops. *)
+
 val queues : t -> queue list
 val queue_owner : queue -> string
 
@@ -58,3 +64,13 @@ val queue_write : queue -> Frame.t -> unit
 
 val reflected : t -> int
 (** Loopback mode: total frames handed to queue backends by reflection. *)
+
+val set_exhausted : t -> bool -> unit
+(** Fault injection: queue exhaustion.  While set, every frame entering
+    the tap (from the host side or from any queue) is dropped and
+    counted — the behavior of full vhost rings under overload. *)
+
+val exhausted : t -> bool
+
+val drops : t -> int
+(** Frames dropped by exhaustion or by writes on detached queues. *)

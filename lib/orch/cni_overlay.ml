@@ -54,11 +54,24 @@ let ensure_member t node =
     in
     Bridge.attach br (Vxlan.dev vtep);
     let m = { m_node = node; m_vtep = vtep; m_bridge = br } in
-    (* Full-mesh peering with existing members. *)
+    (* Drop members whose VM has died before peering: a replacement VM
+       reuses the dead one's underlay address, and peering the joining
+       VTEP against the stale entry would install it as its own remote —
+       every reflected self-copy then re-enters the overlay bridge on the
+       VTEP port and poisons its MAC learning. *)
+    t.member_list <-
+      List.filter
+        (fun m' -> Nest_virt.Vm.alive (Node.vm m'.m_node))
+        t.member_list;
+    (* Full-mesh peering with surviving members. *)
+    let my_ip = vm_primary_ip vm in
     List.iter
       (fun m' ->
-        Vxlan.add_remote m.m_vtep (vm_primary_ip (Node.vm m'.m_node));
-        Vxlan.add_remote m'.m_vtep (vm_primary_ip vm))
+        let peer_ip = vm_primary_ip (Node.vm m'.m_node) in
+        if not (Ipv4.equal peer_ip my_ip) then begin
+          Vxlan.add_remote m.m_vtep peer_ip;
+          Vxlan.add_remote m'.m_vtep my_ip
+        end)
       t.member_list;
     t.member_list <- t.member_list @ [ m ];
     m

@@ -3,6 +3,7 @@ type deployment = {
   dep_node : Node.t;
   dep_ns : Nest_net.Stack.ns;
   dep_containers : Nest_container.Engine.container list;
+  dep_cni : Cni.t;  (* how the pod was wired, for rescheduling *)
 }
 
 type t = {
@@ -50,7 +51,7 @@ let deploy_pod t pod ?cni ?node ~on_ready () =
                 if !remaining = 0 then begin
                   let dep =
                     { dep_pod = pod; dep_node = node; dep_ns = pod_ns;
-                      dep_containers = List.rev !started }
+                      dep_containers = List.rev !started; dep_cni = cni }
                   in
                   t.deployment_list <- t.deployment_list @ [ dep ];
                   on_ready dep
@@ -69,3 +70,29 @@ let delete_pod t dep =
   t.deployment_list <- List.filter (fun d -> d != dep) t.deployment_list
 
 let deployments t = t.deployment_list
+
+(* A node's VM died.  Kubernetes semantics, compressed: the node goes
+   NotReady, its pods are evicted, and the scheduler re-places each one
+   on a surviving node — through the same CNI plugin it was originally
+   wired with, so a BrFusion pod gets a fresh hot-plugged NIC on its new
+   node.  Pods that fit nowhere are lost (counted, reported); they are
+   NOT returned to the deployment list.  No resources are released on
+   the dead node: they died with the VM. *)
+let reschedule_node_failure t ~node ~on_ready =
+  Node.set_ready node false;
+  let dead, rest =
+    List.partition (fun d -> d.dep_node == node) t.deployment_list
+  in
+  t.deployment_list <- rest;
+  let rescheduled = ref 0 and lost = ref 0 in
+  List.iter
+    (fun d ->
+      let pod = d.dep_pod in
+      let cpu = Pod.cpu_total pod and mem = Pod.mem_total pod in
+      match Scheduler.most_requested t.node_list ~cpu ~mem with
+      | None -> incr lost
+      | Some n ->
+        incr rescheduled;
+        deploy_pod t pod ~cni:d.dep_cni ~node:n ~on_ready ())
+    dead;
+  (!rescheduled, !lost)

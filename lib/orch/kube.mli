@@ -13,6 +13,7 @@ type deployment = {
   dep_node : Node.t;
   dep_ns : Nest_net.Stack.ns;
   dep_containers : Nest_container.Engine.container list;
+  dep_cni : Cni.t;  (** how the pod was wired, for rescheduling *)
 }
 
 val create : Nest_sim.Engine.t -> default_cni:Cni.t -> t
@@ -37,3 +38,10 @@ val delete_pod : t -> deployment -> unit
 (** Stops containers and releases the reservation. *)
 
 val deployments : t -> deployment list
+
+val reschedule_node_failure :
+  t -> node:Node.t -> on_ready:(deployment -> unit) -> int * int
+(** React to [node]'s VM dying: mark it not-ready, evict its pods, and
+    re-place each on a surviving node through its original CNI plugin.
+    Returns [(rescheduled, lost)] where lost pods fit on no ready node.
+    [on_ready] fires per re-placed pod once its containers restart. *)

@@ -1,6 +1,6 @@
 open Nest_net
 
-type t = { kl_node : Node.t; mutable configured : int }
+type t = { kl_node : Node.t; mutable configured : int; mutable retries : int }
 
 (* Process-global: concurrent experiment cells each deploy onto their
    own nodes, but they share this table, so guard it.  Keyed by the node
@@ -15,7 +15,7 @@ let locked f =
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
 
 let create_unlocked node =
-  let t = { kl_node = node; configured = 0 } in
+  let t = { kl_node = node; configured = 0; retries = 0 } in
   registry := t :: !registry;
   t
 
@@ -45,6 +45,34 @@ let configure_nic t ~netns ~mac ?ip ?subnet ?gateway ~k () =
       k dev)
 
 let pods_configured t = t.configured
+let hotplug_retries t = t.retries
+
+(* Hot-plug with kubelet semantics: a failed or timed-out QMP round-trip
+   is retried with exponential backoff instead of wedging pod setup.
+   [issue] is the raw VMM operation ({!Nest_virt.Vmm.hotplug_nic_mac} or
+   the Hostlo variant); each retry is counted on the agent and on the
+   engine's [recovery.hotplug_retries] metric so chaos runs can report
+   it.  The final failure (policy exhausted) is handed to [k] — deciding
+   whether that loses the pod is the caller's business. *)
+let hotplug_with_retry t ?(policy = Backoff.default)
+    ~(issue : k:((Mac.t, string) result -> unit) -> unit) ~k () =
+  let engine =
+    Nest_virt.Host.engine (Nest_virt.Vm.host (Node.vm t.kl_node))
+  in
+  Backoff.retry engine policy
+    ~on_retry:(fun ~attempt:_ ~delay_ns:_ ->
+      t.retries <- t.retries + 1;
+      (* Registered on first retry only: unfaulted runs must not grow a
+         zero-valued row in existing metrics dumps. *)
+      Nest_sim.Metrics.bump
+        (Nest_sim.Metrics.counter
+           (Nest_sim.Engine.metrics engine)
+           "recovery.hotplug_retries")
+        ();
+      Nest_sim.Engine.trace_instant engine ~cat:"fault" ~name:"hotplug_retry"
+        ~arg:(Node.name t.kl_node) ())
+    (fun ~attempt:_ ~k -> issue ~k)
+    ~k
 
 let status t =
   Printf.sprintf "%s: cpu %.1f/%.1f mem %.1f/%.1f, %d NIC(s) configured"

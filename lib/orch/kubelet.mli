@@ -37,5 +37,21 @@ val configure_nic :
 val pods_configured : t -> int
 (** How many NICs this agent has configured (diagnostics). *)
 
+val hotplug_with_retry :
+  t ->
+  ?policy:Backoff.policy ->
+  issue:(k:((Mac.t, string) result -> unit) -> unit) ->
+  k:((Mac.t, string) result -> unit) ->
+  unit ->
+  unit
+(** Issue a VMM hot-plug operation with kubelet retry semantics: on
+    [Error], re-issue after {!Backoff} delays until success or policy
+    exhaustion.  Retries are counted per agent and on the engine's
+    [recovery.hotplug_retries] metric (plus a ["fault"] trace instant).
+    With no fault plan installed the operation succeeds first try and
+    this is exactly one [issue] call. *)
+
+val hotplug_retries : t -> int
+
 val status : t -> string
 (** One-line node status (name, capacity, requested, configured pods). *)

@@ -5,6 +5,7 @@ type t = {
   mem_cap : float;
   mutable cpu_req : float;
   mutable mem_req : float;
+  mutable node_ready : bool;
 }
 
 let create vm =
@@ -13,7 +14,7 @@ let create vm =
       Nest_container.Engine.create vm ~name:(Nest_virt.Vm.name vm ^ ":docker");
     cpu_cap = float_of_int (Nest_virt.Vm.vcpus vm);
     mem_cap = float_of_int (Nest_virt.Vm.mem_mb vm) /. 1024.0;
-    cpu_req = 0.0; mem_req = 0.0 }
+    cpu_req = 0.0; mem_req = 0.0; node_ready = true }
 
 let vm t = t.node_vm
 let docker t = t.node_docker
@@ -23,10 +24,14 @@ let mem_capacity t = t.mem_cap
 let cpu_requested t = t.cpu_req
 let mem_requested t = t.mem_req
 
+let ready t = t.node_ready
+let set_ready t b = t.node_ready <- b
+
 let epsilon = 1e-9
 
 let fits t ~cpu ~mem =
-  t.cpu_req +. cpu <= t.cpu_cap +. epsilon
+  t.node_ready
+  && t.cpu_req +. cpu <= t.cpu_cap +. epsilon
   && t.mem_req +. mem <= t.mem_cap +. epsilon
 
 let reserve t ~cpu ~mem =

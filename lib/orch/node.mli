@@ -15,7 +15,14 @@ val mem_capacity : t -> float
 val cpu_requested : t -> float
 val mem_requested : t -> float
 
+val ready : t -> bool
+(** Node condition, [true] at creation.  The chaos controller flips it
+    when the backing VM crashes or comes back. *)
+
+val set_ready : t -> bool -> unit
+
 val fits : t -> cpu:float -> mem:float -> bool
+(** False for not-ready nodes, so the scheduler skips them. *)
 
 val reserve : t -> cpu:float -> mem:float -> unit
 (** Raises [Invalid_argument] when it would overcommit. *)

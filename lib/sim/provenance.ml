@@ -23,6 +23,16 @@ type entry = {
 
 type t = { mutable rev_entries : entry list (* newest first *) }
 
+(* 1-in-N sampling knob.  Minting one record per packet is the dominant
+   cost of provenance-on runs (+330 % on the netperf kernel); sampling
+   trades per-packet coverage for rate.  The knob is global and read by
+   the producers ([Stack.fresh_prov]) through a deterministic per-
+   namespace tick counter, so results stay reproducible across runs and
+   across [--jobs N].  Atomic because experiment cells run in domains. *)
+let sampling_every = Atomic.make 1
+let set_sampling n = Atomic.set sampling_every (max 1 n)
+let sampling () = Atomic.get sampling_every
+
 let create () = { rev_entries = [] }
 
 let add t ~hop ~enqueue_ns ~start_ns ~end_ns =

@@ -22,6 +22,15 @@ type entry = {
 
 type t
 
+val set_sampling : int -> unit
+(** [set_sampling n] asks producers to mint one provenance record per
+    [n] eligible packets (clamped to [>= 1]; default 1 = every packet).
+    Consumed by [Stack.fresh_prov] in [nest_net] through a deterministic
+    per-namespace counter, so sampled runs remain bit-reproducible. *)
+
+val sampling : unit -> int
+(** Current 1-in-N sampling period. *)
+
 val create : unit -> t
 
 val add :

@@ -14,6 +14,8 @@ type t = {
   mutable entity_list : string list;
   mutable nic_list : Dev.t list;
   mutable nic_waiters : (Mac.t * (Dev.t -> unit)) list;
+  mutable netns_list : Stack.ns list;
+  mutable vm_alive : bool;
 }
 
 let guest_cost_model host =
@@ -41,7 +43,7 @@ let create host ~name ~vcpus ~mem_mb =
   Stack.set_ip_forward vm_ns true;
   { vm_name = name; vm_host = host; vm_vcpus = vcpus; vm_mem_mb = mem_mb;
     vm_cpuset; sys; soft; vm_ns; entity_list = [ name ]; nic_list = [];
-    nic_waiters = [] }
+    nic_waiters = []; netns_list = []; vm_alive = true }
 
 let name t = t.vm_name
 let host t = t.vm_host
@@ -57,7 +59,9 @@ let new_netns t ~name ?(with_loopback = true) () =
     Kernel_costs.stack_costs (guest_cost_model t.vm_host) ~sys_exec:t.sys
       ~soft_exec:t.soft
   in
-  Stack.create (Host.engine t.vm_host) ~name ~costs ~with_loopback ()
+  let ns = Stack.create (Host.engine t.vm_host) ~name ~costs ~with_loopback () in
+  t.netns_list <- t.netns_list @ [ ns ];
+  ns
 
 let new_app_exec t ~name ~entity =
   let acct = Host.account t.vm_host in
@@ -91,3 +95,19 @@ let wait_nic t ~mac ~k =
   | None -> t.nic_waiters <- t.nic_waiters @ [ (mac, k) ]
 
 let nics t = t.nic_list
+let netns_list t = t.netns_list
+let alive t = t.vm_alive
+
+(* Abrupt VM death: every guest-visible device — root-namespace NICs and
+   the veths inside pod namespaces — goes dead at once.  In-flight events
+   already scheduled on guest contexts still fire (the host reclaims the
+   vCPUs only after the instant of death), but every frame they try to
+   move is dropped at a down device.  Waiters for NICs that will never
+   arrive are discarded. *)
+let kill t =
+  t.vm_alive <- false;
+  t.nic_waiters <- [];
+  List.iter (fun d -> Dev.set_up d false) t.nic_list;
+  let down_ns ns = List.iter (fun d -> Dev.set_up d false) (Stack.devices ns) in
+  down_ns t.vm_ns;
+  List.iter down_ns t.netns_list

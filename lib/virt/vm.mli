@@ -55,3 +55,14 @@ val wait_nic : t -> mac:Mac.t -> k:(Dev.t -> unit) -> unit
 (** Runs [k] with the device once (immediately if already present). *)
 
 val nics : t -> Dev.t list
+
+val netns_list : t -> Stack.ns list
+(** Every pod/container namespace created inside this guest. *)
+
+val alive : t -> bool
+
+val kill : t -> unit
+(** Abrupt VM death (fault injection): marks the VM dead, downs every
+    guest-visible device in the root and pod namespaces, and discards
+    pending NIC waiters.  The VMM layer ({!Vmm.crash_vm}) additionally
+    tears down host-side plumbing. *)

@@ -7,6 +7,20 @@ type backend =
   | Tap_backend of Tap.t
   | Hostlo_backend of Tap.t
 
+type fault_decision =
+  | Pass
+  | Fail of string
+  | Timeout of Nest_sim.Time.ns
+
+(* Boot-time parameters, retained so a crashed VM can be restarted with
+   the identity the orchestrator knows it by. *)
+type vm_spec = {
+  spec_vcpus : int;
+  spec_mem_mb : int;
+  spec_bridge : string;
+  spec_ip : Ipv4.t;
+}
+
 type t = {
   vmm_host : Host.t;
   vmm_rng : Nest_sim.Prng.t;
@@ -14,12 +28,20 @@ type t = {
   mutable hostlo_list : (string * Tap.t) list;
   netdevs : (string * string, backend) Hashtbl.t;
   nic_tbl : (string * string, Virtio_net.t) Hashtbl.t;
+  (* Host-side taps serving each VM, with the bridge they are enslaved
+     to — what crash_vm must tear down. *)
+  mutable vm_taps : (string * (string * Tap.t)) list;
+  mutable spec_list : (string * vm_spec) list;
+  mutable qmp_fault : (vm:string -> Qmp.command -> fault_decision) option;
 }
 
 let create host =
   { vmm_host = host; vmm_rng = Nest_sim.Prng.split (Host.rng host);
     vm_list = []; hostlo_list = []; netdevs = Hashtbl.create 16;
-    nic_tbl = Hashtbl.create 16 }
+    nic_tbl = Hashtbl.create 16; vm_taps = []; spec_list = [];
+    qmp_fault = None }
+
+let set_qmp_fault t f = t.qmp_fault <- f
 
 let host t = t.vmm_host
 let vms t = t.vm_list
@@ -60,6 +82,13 @@ let create_vm t ~name ~vcpus ~mem_mb ~bridge ~ip =
     | Ok tap -> tap
     | Error e -> failwith ("Vmm.create_vm: " ^ e)
   in
+  t.vm_taps <- t.vm_taps @ [ (name, (bridge, tap)) ];
+  if not (List.mem_assoc name t.spec_list) then
+    t.spec_list <-
+      t.spec_list
+      @ [ (name,
+           { spec_vcpus = vcpus; spec_mem_mb = mem_mb; spec_bridge = bridge;
+             spec_ip = ip }) ];
   let queue = Tap.add_queue tap ~owner:name in
   let vhost = Host.new_vhost_exec t.vmm_host ~name:("vhost-" ^ name) in
   let nic =
@@ -97,6 +126,22 @@ let create_hostlo t ~name =
 
 let find_hostlo t name = List.assoc_opt name t.hostlo_list
 
+(* Any tap the VMM knows — VM-serving taps and Hostlo reflectors — by
+   interface name, for fault targeting. *)
+let find_tap t name =
+  match
+    List.find_map
+      (fun (_, (_, tap)) ->
+        if String.equal (Tap.name tap) name then Some tap else None)
+      t.vm_taps
+  with
+  | Some tap -> Some tap
+  | None ->
+    List.find_map
+      (fun (_, tap) ->
+        if String.equal (Tap.name tap) name then Some tap else None)
+      t.hostlo_list
+
 let sample_latency t ~mean ~cv =
   int_of_float (Nest_sim.Dist.lognormal_mean_cv t.vmm_rng ~mean ~cv)
 
@@ -117,6 +162,7 @@ let perform t ~vm cmd =
     match make_tap_on_bridge t ~name:(vm_name ^ ":" ^ id) ~bridge with
     | Error e -> Qmp.Error e
     | Ok tap ->
+      t.vm_taps <- t.vm_taps @ [ (vm_name, (bridge, tap)) ];
       Hashtbl.replace t.netdevs (vm_name, id) (Tap_backend tap);
       Qmp.Ok_done)
   | Qmp.Netdev_add_hostlo { id; hostlo } -> (
@@ -162,43 +208,132 @@ let perform t ~vm cmd =
       Qmp.Ok_done)
 
 let execute t ~vm cmd k =
-  Nest_sim.Log.info ~engine:(Host.engine t.vmm_host) log_src (fun () ->
+  let engine = Host.engine t.vmm_host in
+  Nest_sim.Log.info ~engine log_src (fun () ->
       Printf.sprintf "qmp %s -> %s" (Qmp.command_name cmd) (Vm.name vm));
-  Engine.schedule (Host.engine t.vmm_host) ~delay:(qmp_delay t) (fun () ->
-      let r = perform t ~vm cmd in
-      Nest_sim.Log.info ~engine:(Host.engine t.vmm_host) log_src (fun () ->
-          Format.asprintf "qmp %s @ %s: %a" (Qmp.command_name cmd)
-            (Vm.name vm) Qmp.pp_response r);
-      k r)
+  let finish delay r =
+    Engine.schedule engine ~delay (fun () ->
+        let r = if Vm.alive vm then r () else Qmp.Error "vm not running" in
+        Nest_sim.Log.info ~engine log_src (fun () ->
+            Format.asprintf "qmp %s @ %s: %a" (Qmp.command_name cmd)
+              (Vm.name vm) Qmp.pp_response r);
+        k r)
+  in
+  (* Fault injection on the management plane.  The decision is made at
+     issue time so an injected timeout delays the caller without holding
+     a monitor lock; [None] (the default) is the unfaulted path. *)
+  let decision =
+    match t.qmp_fault with
+    | None -> Pass
+    | Some f -> f ~vm:(Vm.name vm) cmd
+  in
+  match decision with
+  | Pass -> finish (qmp_delay t) (fun () -> perform t ~vm cmd)
+  | Fail e -> finish (qmp_delay t) (fun () -> Qmp.Error e)
+  | Timeout ns ->
+    finish ns (fun () -> Qmp.Error (Qmp.command_name cmd ^ ": timeout"))
 
+(* The two-command hot-plug protocols surface failures to the caller as
+   [Error] instead of raising: under fault injection a refused or timed-
+   out QMP round-trip is an operational event the orchestrator retries
+   (Kubelet backoff), not a programming error. *)
 let hotplug_nic_mac t ~vm ~bridge ~id ~k =
   execute t ~vm (Qmp.Netdev_add { id = id ^ "-nd"; bridge }) (fun r1 ->
       match r1 with
-      | Qmp.Error e -> failwith ("hotplug_nic: " ^ e)
+      | Qmp.Error e -> k (Result.Error ("netdev_add: " ^ e))
       | Qmp.Ok_done | Qmp.Ok_nic _ ->
         execute t ~vm (Qmp.Device_add { id; netdev = id ^ "-nd" }) (fun r2 ->
             match r2 with
-            | Qmp.Ok_nic { mac } -> k mac
-            | Qmp.Ok_done | Qmp.Error _ ->
-              failwith "hotplug_nic: device_add failed"))
+            | Qmp.Ok_nic { mac } -> k (Result.Ok mac)
+            | Qmp.Error e -> k (Result.Error ("device_add: " ^ e))
+            | Qmp.Ok_done -> k (Result.Error "device_add: no mac")))
+
+let require_mac what k = function
+  | Result.Ok mac -> k mac
+  | Result.Error e -> failwith (what ^ ": " ^ e)
 
 let hotplug_nic t ~vm ~bridge ~id ~k =
-  hotplug_nic_mac t ~vm ~bridge ~id ~k:(fun mac -> Vm.wait_nic vm ~mac ~k)
+  hotplug_nic_mac t ~vm ~bridge ~id
+    ~k:(require_mac "hotplug_nic" (fun mac -> Vm.wait_nic vm ~mac ~k))
 
 let hotplug_hostlo_endpoint_mac t ~vm ~hostlo ~id ~k =
   execute t ~vm (Qmp.Netdev_add_hostlo { id = id ^ "-nd"; hostlo }) (fun r1 ->
       match r1 with
-      | Qmp.Error e -> failwith ("hotplug_hostlo_endpoint: " ^ e)
+      | Qmp.Error e -> k (Result.Error ("netdev_add_hostlo: " ^ e))
       | Qmp.Ok_done | Qmp.Ok_nic _ ->
         execute t ~vm (Qmp.Device_add { id; netdev = id ^ "-nd" }) (fun r2 ->
             match r2 with
-            | Qmp.Ok_nic { mac } -> k mac
-            | Qmp.Ok_done | Qmp.Error _ ->
-              failwith "hotplug_hostlo_endpoint: device_add failed"))
+            | Qmp.Ok_nic { mac } -> k (Result.Ok mac)
+            | Qmp.Error e -> k (Result.Error ("device_add: " ^ e))
+            | Qmp.Ok_done -> k (Result.Error "device_add: no mac")))
 
 let hotplug_hostlo_endpoint t ~vm ~hostlo ~id ~k =
-  hotplug_hostlo_endpoint_mac t ~vm ~hostlo ~id ~k:(fun mac ->
-      Vm.wait_nic vm ~mac ~k)
+  hotplug_hostlo_endpoint_mac t ~vm ~hostlo ~id
+    ~k:
+      (require_mac "hotplug_hostlo_endpoint" (fun mac ->
+           Vm.wait_nic vm ~mac ~k))
 
 let unplug_nic t ~vm ~id =
   execute t ~vm (Qmp.Device_del { id }) (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* VM crash / restart (fault injection)                                *)
+
+let crash_vm t ~name =
+  match List.assoc_opt name t.vm_list with
+  | None -> ()
+  | Some vm ->
+    Nest_sim.Log.info ~engine:(Host.engine t.vmm_host) log_src (fun () ->
+        "vm crash: " ^ name);
+    Vm.kill vm;
+    (* Host side of the guest NICs: frontends die with the QEMU process. *)
+    Hashtbl.iter
+      (fun (vm_name, _) nic ->
+        if String.equal vm_name name then Virtio_net.unplug nic)
+      t.nic_tbl;
+    Hashtbl.filter_map_inplace
+      (fun (vm_name, _) nic ->
+        if String.equal vm_name name then None else Some nic)
+      t.nic_tbl;
+    Hashtbl.filter_map_inplace
+      (fun (vm_name, _) nd ->
+        if String.equal vm_name name then None else Some nd)
+      t.netdevs;
+    (* The VM's taps disappear from their bridges; any queue the VM held
+       on a Hostlo reflector is detached so reflection stops feeding a
+       dead vhost (§4.2 teardown). *)
+    let mine, rest =
+      List.partition (fun (owner, _) -> String.equal owner name) t.vm_taps
+    in
+    t.vm_taps <- rest;
+    List.iter
+      (fun (_, (bridge, tap)) ->
+        ignore (Tap.remove_queues tap ~owner:name);
+        match Host.find_bridge t.vmm_host bridge with
+        | Some br -> Bridge.detach br (Tap.host_dev tap)
+        | None -> ())
+      mine;
+    List.iter
+      (fun (_, hlo) -> ignore (Tap.remove_queues hlo ~owner:name))
+      t.hostlo_list;
+    t.vm_list <- List.remove_assoc name t.vm_list
+
+let restart_vm t ~name =
+  match List.assoc_opt name t.spec_list with
+  | None -> None
+  | Some _ when List.mem_assoc name t.vm_list -> None
+  | Some s ->
+    Nest_sim.Log.info ~engine:(Host.engine t.vmm_host) log_src (fun () ->
+        "vm restart: " ^ name);
+    let vm =
+      create_vm t ~name ~vcpus:s.spec_vcpus ~mem_mb:s.spec_mem_mb
+        ~bridge:s.spec_bridge ~ip:s.spec_ip
+    in
+    (* Gratuitous ARP on boot: the address is reused but the MACs are
+       fresh, so peers on the bridge segment must drop their stale
+       mapping or keep blackholing the restarted VM. *)
+    Stack.arp_flush ~ip:s.spec_ip (Host.ns t.vmm_host);
+    List.iter
+      (fun (_, v) -> if not (v == vm) then Stack.arp_flush ~ip:s.spec_ip (Vm.ns v))
+      t.vm_list;
+    Some vm

@@ -16,8 +16,20 @@ open Nest_net
 
 type t
 
+type fault_decision =
+  | Pass                            (** execute normally *)
+  | Fail of string                  (** reply [Error] after the QMP RTT *)
+  | Timeout of Nest_sim.Time.ns     (** reply [Error] after the given wait *)
+
 val create : Host.t -> t
 val host : t -> Host.t
+
+val set_qmp_fault :
+  t -> (vm:string -> Qmp.command -> fault_decision) option -> unit
+(** Install (or clear) a management-plane fault oracle consulted once per
+    {!execute}.  [None] — the default — is the unfaulted path and draws
+    nothing from any RNG, so runs without a fault plan are bit-identical
+    to runs built before the hook existed. *)
 
 val create_vm :
   t -> name:string -> vcpus:int -> mem_mb:int -> bridge:string -> ip:Ipv4.t -> Vm.t
@@ -38,6 +50,11 @@ val create_hostlo : t -> name:string -> Tap.t
 
 val find_hostlo : t -> string -> Tap.t option
 
+val find_tap : t -> string -> Tap.t option
+(** Any tap the VMM knows — VM-serving taps ("tap-<vm>", hot-plugged
+    "<vm>:<id>") and Hostlo reflectors — by interface name.  Used by
+    fault injection to target queue-exhaustion events. *)
+
 (* Convenience wrappers bundling the §3.1/§4.1 orchestrator<->VMM
    protocol: netdev_add + device_add + in-guest discovery. *)
 
@@ -46,15 +63,34 @@ val hotplug_nic :
 (** [k] fires once the NIC is guest-visible. *)
 
 val hotplug_nic_mac :
-  t -> vm:Vm.t -> bridge:string -> id:string -> k:(Mac.t -> unit) -> unit
+  t -> vm:Vm.t -> bridge:string -> id:string ->
+  k:((Mac.t, string) result -> unit) -> unit
 (** Like {!hotplug_nic} but hands back the MAC as soon as the VMM answers
     (§3.1 step 3): discovery of the guest-visible device is then the VM
-    agent's job ({!Vm.wait_nic}, or [Nest_orch.Kubelet.configure_nic]). *)
+    agent's job ({!Vm.wait_nic}, or [Nest_orch.Kubelet.configure_nic]).
+    A refused or timed-out round-trip (fault injection, dead VM) arrives
+    as [Error] for the orchestrator to retry. *)
 
 val hotplug_hostlo_endpoint :
   t -> vm:Vm.t -> hostlo:string -> id:string -> k:(Dev.t -> unit) -> unit
 
 val hotplug_hostlo_endpoint_mac :
-  t -> vm:Vm.t -> hostlo:string -> id:string -> k:(Mac.t -> unit) -> unit
+  t -> vm:Vm.t -> hostlo:string -> id:string ->
+  k:((Mac.t, string) result -> unit) -> unit
 
 val unplug_nic : t -> vm:Vm.t -> id:string -> unit
+
+(* Fault injection: abrupt VM death and supervised restart. *)
+
+val crash_vm : t -> name:string -> unit
+(** Kill the named VM as if its QEMU process died: the guest and every
+    pod namespace inside it go dark ({!Vm.kill}), its host taps leave
+    their bridges, its virtio frontends unplug, and any queue it held on
+    a Hostlo reflector is detached — the reflector keeps serving the
+    surviving members with no dangling queue.  No-op for unknown VMs. *)
+
+val restart_vm : t -> name:string -> Vm.t option
+(** Re-boot a crashed VM from its recorded creation spec (same name,
+    sizing, bridge, and address; fresh MACs).  Returns [None] when the
+    name is unknown or the VM is still running.  Pods are not restored —
+    rescheduling them is the orchestrator's job. *)

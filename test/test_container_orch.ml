@@ -284,11 +284,14 @@ let test_kubelet_agent () =
   let configured = ref None in
   Nest_virt.Vmm.hotplug_nic_mac tb.Nestfusion.Testbed.vmm ~vm:(Node.vm node)
     ~bridge:"virbr0" ~id:"n1"
-    ~k:(fun mac ->
-      Kubelet.configure_nic kl ~netns ~mac ~ip:(ip "10.0.0.88")
-        ~subnet:(cidr "10.0.0.0/24") ~gateway:(ip "10.0.0.1")
-        ~k:(fun dev -> configured := Some dev)
-        ());
+    ~k:(fun r ->
+      match r with
+      | Error e -> Alcotest.fail ("hotplug failed: " ^ e)
+      | Ok mac ->
+        Kubelet.configure_nic kl ~netns ~mac ~ip:(ip "10.0.0.88")
+          ~subnet:(cidr "10.0.0.0/24") ~gateway:(ip "10.0.0.1")
+          ~k:(fun dev -> configured := Some dev)
+          ());
   Nestfusion.Testbed.run_until tb (Time.sec 1);
   (match !configured with
   | None -> Alcotest.fail "agent never configured the NIC"

@@ -1,0 +1,129 @@
+(* Tests for the fault-injection subsystem (lib/fault): schedule
+   determinism — same seed means the same fault timeline and the same
+   outcome digest, sequentially and under domain fan-out — and the
+   recovery invariants around Hostlo reflector queues. *)
+
+module Time = Nest_sim.Time
+module Testbed = Nestfusion.Testbed
+module Chaos = Nest_fault.Chaos
+module Fault_plan = Nest_fault.Fault_plan
+module Tap = Nest_net.Tap
+module Vmm = Nest_virt.Vmm
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan basics *)
+
+let test_plan_events () =
+  let plan =
+    Fault_plan.make ~seed:9L
+      ~qmp:(Fault_plan.qmp_rule ~fail_prob:0.2 ())
+      ~events:
+        [ Fault_plan.Vm_crash
+            { vm = "vm1"; at = Time.ms 10; restart_after = Some (Time.ms 5) };
+          Fault_plan.Link_down
+            { vm = "vm1"; at = Time.ms 2; duration = Time.ms 1 } ]
+      ()
+  in
+  Alcotest.(check bool) "not empty" false (Fault_plan.is_empty plan);
+  Alcotest.(check bool) "empty is empty" true (Fault_plan.is_empty Fault_plan.empty);
+  Alcotest.(check (list int)) "event times"
+    [ Time.ms 10; Time.ms 2 ]
+    (List.map Fault_plan.event_at plan.Fault_plan.events)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same seed => same timeline and same digest. *)
+
+let test_same_seed_same_timeline () =
+  let run () =
+    Chaos.run_cell ~quick:true ~mode:`Brfusion ~rate:0.3 ~seed:7L ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "same digest" (Chaos.digest a) (Chaos.digest b);
+  Alcotest.(check (list (pair int string)))
+    "same fault timeline" a.Chaos.o_timeline b.Chaos.o_timeline;
+  (* The timeline is non-trivial: crash trials are always scheduled. *)
+  Alcotest.(check bool) "timeline non-empty" true
+    (List.length a.Chaos.o_timeline > 0)
+
+let test_seed_changes_timeline () =
+  let a = Chaos.run_cell ~quick:true ~mode:`Brfusion ~rate:0.5 ~seed:7L () in
+  let b = Chaos.run_cell ~quick:true ~mode:`Brfusion ~rate:0.5 ~seed:8L () in
+  Alcotest.(check bool) "different seed, different digest" true
+    (not (String.equal (Chaos.digest a) (Chaos.digest b)))
+
+(* The determinism guard that matters for --jobs N: fanning the same
+   cells over domains must not change a single byte of any outcome. *)
+let test_jobs_fanout_deterministic () =
+  let cells = List.map (fun m -> (m, 0.3)) Chaos.all_modes in
+  let digest_of (mode, rate) =
+    Chaos.digest (Chaos.run_cell ~quick:true ~mode ~rate ~seed:11L ())
+  in
+  let seq = List.map digest_of cells in
+  let par = Nest_sim.Domain_pool.map ~jobs:4 digest_of cells in
+  List.iteri
+    (fun i (mode, _) ->
+      Alcotest.(check string)
+        (Chaos.mode_to_string mode ^ " jobs=1 equals jobs=4")
+        (List.nth seq i) (List.nth par i))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Hostlo recovery invariant: a VM crash mid-pod detaches exactly the
+   dead VM's reflector queues; the reflector itself survives, and a
+   re-added fraction gets a fresh queue. *)
+
+let test_hostlo_crash_no_dangling_queue () =
+  let tb = Testbed.create ~num_vms:2 () in
+  Testbed.run_until tb (Time.ms 1);
+  let config = Nestfusion.Hostlo.make_config tb.Testbed.vmm in
+  let plugin = Nestfusion.Hostlo.plugin config in
+  let added = ref 0 in
+  let add node =
+    plugin.Nest_orch.Cni.add ~pod_name:"svc" ~node ~publish:[]
+      ~k:(fun _ -> incr added)
+  in
+  add (Testbed.node tb 0);
+  add (Testbed.node tb 1);
+  Testbed.run_until tb (Time.sec 1);
+  Alcotest.(check int) "both fractions set up" 2 !added;
+  let tap =
+    match Vmm.find_hostlo tb.Testbed.vmm "hostlo-svc" with
+    | Some tap -> tap
+    | None -> Alcotest.fail "reflector tap hostlo-svc not found"
+  in
+  let owners () =
+    List.sort_uniq String.compare
+      (List.map Tap.queue_owner (Tap.queues tap))
+  in
+  Alcotest.(check (list string)) "one queue per VM" [ "vm1"; "vm2" ]
+    (owners ());
+  Vmm.crash_vm tb.Testbed.vmm ~name:"vm2";
+  Alcotest.(check (list string)) "dead VM's queue detached" [ "vm1" ]
+    (owners ());
+  (* Restart the VM and re-add its fraction: the persisting reflector
+     grows a fresh queue for the replacement. *)
+  let node' =
+    match Vmm.restart_vm tb.Testbed.vmm ~name:"vm2" with
+    | Some vm' -> Nest_orch.Node.create vm'
+    | None -> Alcotest.fail "restart_vm failed"
+  in
+  add node';
+  Testbed.run_until tb (Time.sec 2);
+  Alcotest.(check int) "re-added fraction set up" 3 !added;
+  Alcotest.(check (list string)) "fresh queue after reattach"
+    [ "vm1"; "vm2" ] (owners ())
+
+let () =
+  Alcotest.run "fault"
+    [ ( "plan",
+        [ Alcotest.test_case "events" `Quick test_plan_events ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed, same timeline" `Quick
+            test_same_seed_same_timeline;
+          Alcotest.test_case "seed changes timeline" `Quick
+            test_seed_changes_timeline;
+          Alcotest.test_case "jobs fan-out identical" `Slow
+            test_jobs_fanout_deterministic ] );
+      ( "recovery",
+        [ Alcotest.test_case "hostlo crash leaves no dangling queue" `Quick
+            test_hostlo_crash_no_dangling_queue ] ) ]
