@@ -123,6 +123,35 @@ let kernel_exec_queue_wheel () =
     ~push:(fun ~prio v -> Nest_sim.Wheel.push w ~prio v)
     ~pop:(fun () -> Nest_sim.Wheel.pop w)
 
+(* Exactly-once hot-plug: every first Device_add loses its ack after
+   applying (Partial_timeout), so every retry answers from the reply
+   journal — measures the journal's lookup/insert cost riding the
+   management path, plus the hot-plug round-trips themselves. *)
+let kernel_qmp_dedupe () =
+  let tb = Nestfusion.Testbed.create () in
+  Nestfusion.Testbed.run_until tb (Time.ms 1);
+  let vmm = tb.Nestfusion.Testbed.vmm in
+  let vm = Nestfusion.Testbed.vm tb 0 in
+  let seen = Hashtbl.create 64 in
+  Nest_virt.Vmm.set_qmp_fault vmm
+    (Some
+       (fun ~vm:_ cmd ->
+         match cmd with
+         | Nest_virt.Qmp.Device_add { id; _ } when not (Hashtbl.mem seen id) ->
+           Hashtbl.add seen id ();
+           Nest_virt.Vmm.Partial_timeout (Time.ms 1)
+         | _ -> Nest_virt.Vmm.Pass));
+  for i = 1 to 32 do
+    let id = "bench-" ^ string_of_int i in
+    Nest_virt.Vmm.execute vmm ~vm
+      (Nest_virt.Qmp.Netdev_add { id; bridge = "virbr0" })
+      (fun _ ->
+        let cmd = Nest_virt.Qmp.Device_add { id; netdev = id } in
+        Nest_virt.Vmm.execute vmm ~vm cmd (fun _ ->
+            Nest_virt.Vmm.execute vmm ~vm cmd (fun _ -> ())))
+  done;
+  Nestfusion.Testbed.run_until tb (Time.sec 1)
+
 let kernel_conntrack () =
   let ct = Nest_net.Conntrack.create () in
   let nat_ip = Nest_net.Ipv4.of_string "10.0.0.1" in
@@ -164,7 +193,8 @@ let micro_tests =
     Test.make ~name:"engine:1k-events" (Staged.stage kernel_engine_events);
     Test.make ~name:"exec_queue:heap" (Staged.stage kernel_exec_queue_heap);
     Test.make ~name:"exec_queue:wheel" (Staged.stage kernel_exec_queue_wheel);
-    Test.make ~name:"net:conntrack-snat" (Staged.stage kernel_conntrack) ]
+    Test.make ~name:"net:conntrack-snat" (Staged.stage kernel_conntrack);
+    Test.make ~name:"vmm:qmp-dedupe" (Staged.stage kernel_qmp_dedupe) ]
 
 let run_micro () =
   let open Bechamel in

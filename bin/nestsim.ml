@@ -230,14 +230,30 @@ let obs_term =
   let doc = "Observability workflows (Perfetto export, latency attribution)." in
   Cmd.group (Cmd.info "obs" ~doc) [ run ]
 
-let chaos_cmd rates seed jobs quick check =
+let chaos_cmd rates seed jobs quick check workload standby =
   if jobs <= 0 then begin
     Printf.eprintf "nestsim: --jobs must be positive (got %d)\n" jobs;
     exit 1
   end;
-  if check then begin
-    if not (Nest_experiments.Fig_chaos.check ~seed ~jobs ~quick ()) then
+  if standby < 0 then begin
+    Printf.eprintf "nestsim: --standby must be >= 0 (got %d)\n" standby;
+    exit 1
+  end;
+  let workload =
+    match Nest_fault.Chaos.workload_of_string workload with
+    | Some w -> w
+    | None ->
+      Printf.eprintf
+        "nestsim: unknown --workload %S (expected probe, rr or memcached)\n"
+        workload;
       exit 1
+  in
+  if check then begin
+    if
+      not
+        (Nest_experiments.Fig_chaos.check ~seed ~jobs ~workload ~standby
+           ~quick ())
+    then exit 1
   end
   else begin
     Nest_experiments.Exp_util.Par.set_jobs jobs;
@@ -246,7 +262,7 @@ let chaos_cmd rates seed jobs quick check =
       | [] -> Nest_experiments.Fig_chaos.default_rates
       | rs -> rs
     in
-    Nest_experiments.Fig_chaos.run ~rates ~seed ~quick ()
+    Nest_experiments.Fig_chaos.run ~rates ~seed ~workload ~standby ~quick ()
   end
 
 let chaos_term =
@@ -270,14 +286,34 @@ let chaos_term =
                    fanned over --jobs domains, and again sequentially; \
                    exit non-zero unless every cell digest is identical.")
   in
+  let workload =
+    Arg.(value & opt string "probe"
+         & info [ "workload" ] ~docv:"W"
+             ~doc:"What the served cell carries: $(b,probe) (UDP echo \
+                   probe, the default), $(b,rr) (netperf UDP_RR) or \
+                   $(b,memcached) (memtier-shaped closed loops).  Real \
+                   workloads additionally report goodput-under-fault \
+                   and post-recovery latency percentiles.")
+  in
+  let standby =
+    Arg.(value & opt int 0
+         & info [ "standby" ] ~docv:"N"
+             ~doc:"Pre-provision N pooled Hostlo endpoints per (VM, \
+                   pod) and fail the service over to a surviving VM on \
+                   crash, claiming a pooled endpoint instead of paying \
+                   QMP hot-plug under faults.  0 disables (default); \
+                   other modes ignore it.")
+  in
   let doc =
     "Sweep fault rates across deployment modes; report pod-start \
      behaviour under QMP faults (time-to-ready, retries, losses) and \
      service availability with recovery-latency percentiles around VM \
-     crashes."
+     crashes — optionally with a live workload in the cell."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const chaos_cmd $ rates $ seed $ jobs $ quick $ check)
+    Term.(
+      const chaos_cmd $ rates $ seed $ jobs $ quick $ check $ workload
+      $ standby)
 
 let trace_term =
   let users =

@@ -9,6 +9,7 @@ type config = {
   vmm : Nest_virt.Vmm.t;
   bridge_name : string;
   ipam : Ipam.t;
+  garp : bool;
   mutable assignments : (Stack.ns * Ipv4.t) list;
   mutable hotplugs : int;
 }
@@ -16,7 +17,7 @@ type config = {
 let host_bridge config = config.bridge_name
 let pod_ipam config = config.ipam
 
-let make_config vmm ~host_bridge =
+let make_config ?(garp = false) vmm ~host_bridge =
   match Nest_virt.Vmm.bridge_addr vmm host_bridge with
   | None -> failwith ("Brfusion.make_config: no such bridge: " ^ host_bridge)
   | Some (gw, subnet) ->
@@ -31,7 +32,7 @@ let make_config vmm ~host_bridge =
             (Stack.addrs (Nest_virt.Vm.ns vm)))
         (Nest_virt.Vmm.vms vmm)
     in
-    { vmm; bridge_name = host_bridge;
+    { vmm; bridge_name = host_bridge; garp;
       ipam = Ipam.create ~reserved:(gw :: vm_addrs) subnet;
       assignments = []; hotplugs = 0 }
 
@@ -71,13 +72,50 @@ let plugin config =
           let ip = Ipam.alloc config.ipam in
           Nest_orch.Kubelet.configure_nic kubelet ~netns ~mac ~ip ~subnet
             ~gateway:gw
-            ~k:(fun _dev ->
+            ~on_dead:(fun () ->
+              (* The VM died between the VMM's Ok and the guest-visible
+                 device: the lease was reserved for a NIC that will never
+                 be configured.  Freeing it here is what keeps IPAM
+                 leak-free under crash faults — before, the lease died
+                 with the discarded waiter. *)
+              Ipam.free config.ipam ip;
+              let engine =
+                Nest_virt.Host.engine (Nest_virt.Vmm.host config.vmm)
+              in
+              Nest_sim.Metrics.bump
+                (Nest_sim.Metrics.counter
+                   (Nest_sim.Engine.metrics engine)
+                   "recovery.lease_released")
+                ();
+              Nest_sim.Engine.trace_instant engine ~cat:"fault"
+                ~name:"lease_released" ~arg:pod_name ())
+            ~k:(fun dev ->
               config.assignments <- (netns, ip) :: config.assignments;
+              (* Announce the address segment-wide: the lease may be a
+                 crash-GC'd reuse, and peers still holding the previous
+                 holder's MAC would otherwise blackhole this pod until
+                 their neighbour entries expire. *)
+              if config.garp then Stack.garp netns dev ip;
               k netns)
             ())
       ()
   in
   { Nest_orch.Cni.cni_name = "brfusion"; add }
+
+(* Crash-time lease GC: every pod namespace inside the dead VM held an
+   address out of the bridge subnet's pool.  The pods are gone — their
+   replacements allocate fresh leases on reschedule — so without this the
+   pool shrinks by [k_pods] per crash until allocation fails. *)
+let release_vm config ~vm =
+  let inside = Nest_virt.Vm.netns_list vm in
+  let mine, rest =
+    List.partition
+      (fun (ns, _) -> List.exists (fun n -> n == ns) inside)
+      config.assignments
+  in
+  config.assignments <- rest;
+  List.iter (fun (_, ip) -> Ipam.free config.ipam ip) mine;
+  List.length mine
 
 let pod_ip config ns =
   List.find_map
@@ -85,3 +123,4 @@ let pod_ip config ns =
     config.assignments
 
 let hotplug_count config = config.hotplugs
+let live_assignments config = List.length config.assignments

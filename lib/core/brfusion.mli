@@ -24,9 +24,16 @@ type config
     {!plugin}.  All of it has the config's lifetime. *)
 
 val make_config :
-  Nest_virt.Vmm.t -> host_bridge:string -> config
+  ?garp:bool -> Nest_virt.Vmm.t -> host_bridge:string -> config
 (** Builds the IPAM from the bridge's subnet, reserving the gateway and
-    already-used VM addresses as callers allocate them through it too. *)
+    already-used VM addresses as callers allocate them through it too.
+
+    [garp] (default false) broadcasts a gratuitous ARP ({!Stack.garp})
+    when a pod's address is configured.  Deployments that recycle leases
+    — chaos cells running {!release_vm} — need it: a reused address
+    otherwise stays bound to the dead pod's MAC in peer neighbour caches
+    and the replacement is blackholed.  Off by default so unfaulted
+    benchmark figures keep their exact frame sequence. *)
 
 val host_bridge : config -> string
 (** Bridge whose network pods join. *)
@@ -41,5 +48,17 @@ val plugin : config -> Nest_orch.Cni.t
 val pod_ip : config -> Stack.ns -> Ipv4.t option
 (** Address assigned to a pod namespace by this plugin. *)
 
+val release_vm : config -> vm:Nest_virt.Vm.t -> int
+(** Crash-time lease GC: frees the IPAM lease of every pod namespace
+    living inside [vm] (which just died) and drops their assignments;
+    returns how many were released.  Chaos recovery calls this from its
+    crash hook — replacement pods allocate fresh leases, so a dead VM's
+    leases would otherwise leak forever. *)
+
 val hotplug_count : config -> int
 (** NICs provisioned so far (diagnostics). *)
+
+val live_assignments : config -> int
+(** Pod addresses currently assigned.  The no-leak invariant chaos cells
+    assert is [Ipam.in_use (pod_ipam c) = live_assignments c] once the
+    engine quiesces: every allocated lease is held by a live pod. *)

@@ -2,11 +2,12 @@
    deployment modes (§3 BrFusion, §4 Hostlo, and their two baselines).
 
    Each (mode, rate) cell is a private testbed running a pod-start storm
-   under management-plane fault rates concurrently with a probed echo
-   service whose serving VM is crashed and restarted on a trial schedule
-   (see lib/fault/Chaos).  Cells are independent, so they fan out over
-   [Par] like the netperf sweeps; printing stays in deterministic
-   (mode, rate) order regardless of --jobs. *)
+   under management-plane fault rates concurrently with a served cell —
+   a probed echo service by default, or a live workload (netperf UDP_RR,
+   memcached) — whose serving VM is crashed and restarted on a trial
+   schedule (see lib/fault/Chaos).  Cells are independent, so they fan
+   out over [Par] like the netperf sweeps; printing stays in
+   deterministic (mode, rate) order regardless of --jobs. *)
 
 module Chaos = Nest_fault.Chaos
 
@@ -17,12 +18,17 @@ let cells rates =
     (fun mode -> List.map (fun rate -> (mode, rate)) rates)
     Chaos.all_modes
 
-let run ?(rates = default_rates) ?(seed = 42L) ~quick () =
+let run ?(rates = default_rates) ?(seed = 42L) ?(workload = Chaos.Probe)
+    ?(standby = 0) ~quick () =
   Exp_util.header
-    "Chaos: availability & recovery under injected faults (per mode)";
+    (Printf.sprintf
+       "Chaos: availability & recovery under injected faults (workload=%s%s)"
+       (Chaos.workload_to_string workload)
+       (if standby > 0 then Printf.sprintf ", standby=%d" standby else ""));
   let outcomes =
     Exp_util.Par.map
-      (fun (mode, rate) -> Chaos.run_cell ~quick ~mode ~rate ~seed ())
+      (fun (mode, rate) ->
+        Chaos.run_cell ~quick ~workload ~standby ~mode ~rate ~seed ())
       (cells rates)
   in
   let current = ref "" in
@@ -38,24 +44,53 @@ let run ?(rates = default_rates) ?(seed = 42L) ~quick () =
   Exp_util.kv "recovery"
     "kubelet hot-plug retry w/ exponential backoff; scheduler reschedules \
      the dead node's pods; Hostlo reattaches a fresh queue on the \
-     surviving reflector"
-
-(* Determinism guard (CI: chaos-smoke): the same (mode, rate, seed)
-   cells must digest identically on a repeat run and when fanned across
-   domains.  Returns true when every digest matches. *)
-let check ?(seed = 42L) ?(jobs = 4) ~quick () =
-  let cs = cells [ 0.0; 0.3 ] in
-  let digest_of (mode, rate) =
-    Chaos.digest (Chaos.run_cell ~quick ~mode ~rate ~seed ())
+     surviving reflector (or claims a pre-plugged standby endpoint with \
+     --standby N)";
+  let violations =
+    List.filter
+      (fun o -> o.Chaos.o_leaked_leases <> 0 || o.Chaos.o_invariants <> [])
+      outcomes
   in
-  let sequential = List.map digest_of cs in
+  if violations <> [] then begin
+    Exp_util.row "";
+    List.iter
+      (fun o ->
+        Exp_util.row
+          (Printf.sprintf "VIOLATION %s rate %.2f: %d leaked leases%s"
+             o.Chaos.o_mode o.Chaos.o_rate o.Chaos.o_leaked_leases
+             (String.concat ""
+                (List.map (fun s -> "; " ^ s) o.Chaos.o_invariants))))
+      violations
+  end
+
+(* Determinism guard (CI: chaos-smoke / chaos-workload-smoke): the same
+   (mode, rate, seed, workload, standby) cells must digest identically
+   on a repeat run and when fanned across domains.  Returns true when
+   every digest matches AND no cell reports an exactly-once violation
+   (leaked lease or broken Vmm invariant) — the chaos run is the only
+   place those paths are exercised end-to-end, so the smoke doubles as
+   the no-dangling-resource gate. *)
+let check ?(seed = 42L) ?(jobs = 4) ?(workload = Chaos.Probe) ?(standby = 0)
+    ~quick () =
+  let cs = cells [ 0.0; 0.3 ] in
+  let run_cell (mode, rate) =
+    Chaos.run_cell ~quick ~workload ~standby ~mode ~rate ~seed ()
+  in
+  let digest_of c = Chaos.digest (run_cell c) in
+  let sequential_o = List.map run_cell cs in
+  let sequential = List.map Chaos.digest sequential_o in
   Exp_util.Par.set_jobs jobs;
   let parallel = Exp_util.Par.map digest_of cs in
   Exp_util.Par.set_jobs 1;
   let repeat = List.map digest_of cs in
-  let ok =
+  let identical =
     List.for_all2 String.equal sequential parallel
     && List.for_all2 String.equal sequential repeat
+  in
+  let clean =
+    List.for_all
+      (fun o -> o.Chaos.o_leaked_leases = 0 && o.Chaos.o_invariants = [])
+      sequential_o
   in
   List.iteri
     (fun i (mode, rate) ->
@@ -67,8 +102,19 @@ let check ?(seed = 42L) ?(jobs = 4) ~quick () =
          then "ok"
          else "MISMATCH"))
     cs;
-  Printf.printf "chaos determinism (%d cells, --jobs 1 vs --jobs %d vs \
-                 repeat): %s\n"
-    (List.length cs) jobs
-    (if ok then "bit-identical" else "MISMATCH");
-  ok
+  Printf.printf
+    "chaos determinism (%d cells, workload=%s, --jobs 1 vs --jobs %d vs \
+     repeat): %s\n"
+    (List.length cs)
+    (Chaos.workload_to_string workload)
+    jobs
+    (if identical then "bit-identical" else "MISMATCH");
+  if not clean then
+    List.iter
+      (fun o ->
+        if o.Chaos.o_leaked_leases <> 0 || o.Chaos.o_invariants <> [] then
+          Printf.printf "INVARIANT VIOLATION %s rate %.2f: %d leaked; %s\n"
+            o.Chaos.o_mode o.Chaos.o_rate o.Chaos.o_leaked_leases
+            (String.concat "; " o.Chaos.o_invariants))
+      sequential_o;
+  identical && clean

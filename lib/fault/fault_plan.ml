@@ -13,13 +13,14 @@ module Time = Nest_sim.Time
 
 type qmp_rule = {
   fail_prob : float;      (* P(command answered with Error) *)
-  timeout_prob : float;   (* P(command times out), after fail roll *)
+  timeout_prob : float;   (* P(command lost, times out), after fail roll *)
+  partial_prob : float;   (* P(command APPLIED but ack lost), after both *)
   timeout_ns : Time.ns;   (* how long a timed-out caller waits *)
 }
 
-let qmp_rule ?(fail_prob = 0.0) ?(timeout_prob = 0.0)
+let qmp_rule ?(fail_prob = 0.0) ?(timeout_prob = 0.0) ?(partial_prob = 0.0)
     ?(timeout_ns = Time.ms 500) () =
-  { fail_prob; timeout_prob; timeout_ns }
+  { fail_prob; timeout_prob; partial_prob; timeout_ns }
 
 type event =
   | Vm_crash of { at : Time.ns; vm : string; restart_after : Time.ns option }
@@ -106,6 +107,6 @@ let pp fmt t =
   (match t.qmp with
   | None -> ()
   | Some q ->
-    Format.fprintf fmt "  qmp: fail=%.3f timeout=%.3f (%a)@." q.fail_prob
-      q.timeout_prob Time.pp q.timeout_ns);
+    Format.fprintf fmt "  qmp: fail=%.3f timeout=%.3f partial=%.3f (%a)@."
+      q.fail_prob q.timeout_prob q.partial_prob Time.pp q.timeout_ns);
   List.iter (fun e -> Format.fprintf fmt "  %a@." pp_event e) t.events

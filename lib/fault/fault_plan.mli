@@ -11,14 +11,20 @@ module Time = Nest_sim.Time
 
 type qmp_rule = {
   fail_prob : float;      (** P(command answered with Error) *)
-  timeout_prob : float;   (** P(command times out), rolled after fail *)
+  timeout_prob : float;   (** P(command lost, times out), rolled after fail *)
+  partial_prob : float;
+      (** P(command {e applied} but the ack lost — the caller times out
+          and retries a command that already took effect), rolled after
+          the other two.  The nasty case exactly-once hot-plug exists
+          for: without the VMM's reply journal every such retry leaks a
+          duplicate device (and, for BrFusion, an IPAM lease). *)
   timeout_ns : Time.ns;   (** wait before a timed-out caller learns *)
 }
 
 val qmp_rule :
-  ?fail_prob:float -> ?timeout_prob:float -> ?timeout_ns:Time.ns -> unit ->
-  qmp_rule
-(** Defaults: both probabilities 0, timeout 500 ms. *)
+  ?fail_prob:float -> ?timeout_prob:float -> ?partial_prob:float ->
+  ?timeout_ns:Time.ns -> unit -> qmp_rule
+(** Defaults: all probabilities 0, timeout 500 ms. *)
 
 type event =
   | Vm_crash of { at : Time.ns; vm : string; restart_after : Time.ns option }

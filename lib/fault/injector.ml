@@ -25,7 +25,7 @@ type t = {
   tb : Nestfusion.Testbed.t;
   rng : Prng.t;
   mutable rev_timeline : (Time.ns * string) list;
-  on_crash : string -> unit;
+  on_crash : Vm.t -> unit;
   on_restart : Vm.t -> unit;
 }
 
@@ -74,19 +74,31 @@ let schedule_event t ev =
   match ev with
   | Fault_plan.Vm_crash { at = t0; vm; restart_after } ->
     at "vm_crash" t0 (fun () ->
-        with_vm t vm ~kind:"vm_crash" (fun _ ->
-            note t ~kind:"vm_crash" (Printf.sprintf "%s crashed" vm);
-            Vmm.crash_vm vmm ~name:vm;
-            t.on_crash vm));
+        (* A crash landing while the VM is [Restarting] is still a real
+           event — it cancels the pending boot — but there is no dead
+           incarnation to hand to [on_crash]. *)
+        match Vmm.lifecycle vmm vm with
+        | Some Vmm.Restarting ->
+          note t ~kind:"vm_crash"
+            (Printf.sprintf "%s crashed during restart" vm);
+          Vmm.crash_vm vmm ~name:vm
+        | _ ->
+          with_vm t vm ~kind:"vm_crash" (fun dead ->
+              note t ~kind:"vm_crash" (Printf.sprintf "%s crashed" vm);
+              Vmm.crash_vm vmm ~name:vm;
+              t.on_crash dead));
     (match restart_after with
     | None -> ()
     | Some delay ->
       at "vm_restart" (t0 + delay) (fun () ->
-          match Vmm.restart_vm vmm ~name:vm with
-          | Some vm' ->
-            note t ~kind:"vm_restart" (Printf.sprintf "%s restarted" vm);
-            t.on_restart vm'
-          | None ->
+          let started =
+            Vmm.restart_vm vmm ~name:vm
+              ~k:(fun vm' ->
+                note t ~kind:"vm_restart" (Printf.sprintf "%s restarted" vm);
+                t.on_restart vm')
+              ()
+          in
+          if not started then
             note t ~kind:"vm_restart"
               (Printf.sprintf "vm_restart skipped: %s not restartable" vm)))
   | Link_down { at = t0; vm; duration } ->
@@ -168,6 +180,14 @@ let install ?(on_vm_crash = fun _ -> ()) ?(on_vm_restart = fun _ -> ())
              note t ~kind:"qmp_timeout"
                (Printf.sprintf "qmp %s to %s timed out" (Nest_virt.Qmp.command_name cmd) vm);
              Vmm.Timeout rule.timeout_ns
+           end
+           else if
+             u < rule.fail_prob +. rule.timeout_prob +. rule.partial_prob
+           then begin
+             note t ~kind:"qmp_partial_timeout"
+               (Printf.sprintf "qmp %s to %s applied, ack lost"
+                  (Nest_virt.Qmp.command_name cmd) vm);
+             Vmm.Partial_timeout rule.timeout_ns
            end
            else Vmm.Pass)));
   List.iter (schedule_event t) plan.events;

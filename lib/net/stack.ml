@@ -50,6 +50,12 @@ let sndbuf_default = 262_144
 let rcvwnd_default = 262_144
 let init_cwnd_segments = 10
 let rto_initial = Time.ms 200
+
+(* Consecutive no-progress RTOs before the connection is aborted — the
+   role of Linux's tcp_retries2 (and tcp_syn_retries for handshakes),
+   scaled down to simulation horizons: 8 rungs of the capped-at-2^6
+   exponential ladder span ~38 s of virtual time. *)
+let tcp_max_retries = 8
 let delack_delay = Time.us 200
 let ack_every_segments = 2
 let ephemeral_base = 49_152
@@ -313,6 +319,21 @@ let arp_request ns dev target_ip =
     (Frame.make ~traced:ns.trace_all ~src:dev.Dev.mac ~dst:Mac.broadcast
        (Frame.Arp_body msg))
 
+(* Gratuitous ARP: broadcast announce of [ip] at [dev]'s MAC, as
+   `arping -A` after an address assignment.  Every listener's
+   [arp_input] runs [arp_learn], so a neighbour holding a stale entry
+   for a reused address (freed lease, re-allocated to a new pod with a
+   new MAC) is corrected instead of blackholing until its entry ages
+   out. *)
+let garp ns dev ip =
+  let msg =
+    { Frame.op = Frame.Request; sender_mac = dev.Dev.mac; sender_ip = ip;
+      target_mac = Mac.of_int 0; target_ip = ip }
+  in
+  Dev.transmit dev
+    (Frame.make ~traced:ns.trace_all ~src:dev.Dev.mac ~dst:Mac.broadcast
+       (Frame.Arp_body msg))
+
 let arp_retry_delay = Time.sec 1
 let arp_max_tries = 3
 
@@ -556,7 +577,21 @@ and tcp_rto_fire c =
       c.snd_una < c.snd_nxt || c.c_state = Syn_sent || c.c_state = Syn_rcvd
     in
     if outstanding then
-      if c.snd_una = c.rto_una_at_arm then begin
+      if c.snd_una = c.rto_una_at_arm then
+        if c.rto_backoff >= tcp_max_retries then begin
+          (* tcp_retries2-style abort: the peer has acknowledged nothing
+             across the whole backoff ladder — it is gone (crashed VM,
+             partitioned path).  Without this cap a connection into a
+             dead endpoint retransmits forever and a run-to-quiescence
+             drain never terminates. *)
+          Nest_sim.Log.debug ~engine:c.c_ns.eng log_src (fun () ->
+              Printf.sprintf "%s: aborting after %d retransmits (una=%d)"
+                c.c_ns.ns_name c.c_retransmits c.snd_una);
+          c.c_state <- Closed;
+          tcp_unregister c;
+          c.on_close_cb ()
+        end
+        else begin
         (* No progress since arming: retransmit. *)
         c.c_retransmits <- c.c_retransmits + 1;
         Nest_sim.Log.debug ~engine:c.c_ns.eng log_src (fun () ->

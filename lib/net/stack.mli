@@ -92,6 +92,13 @@ val arp_flush : ?ip:Ipv4.t -> ns -> unit
     neighbour-table timeout would; invalidates dependent flow-cache
     verdicts. *)
 
+val garp : ns -> Dev.t -> Ipv4.t -> unit
+(** Gratuitous ARP: broadcast announce of [ip] at [dev]'s MAC (as
+    [arping -A] after assigning an address).  Corrects stale neighbour
+    entries segment-wide when an address is reused with a new MAC —
+    e.g. an IPAM lease freed by crash-time GC and re-allocated to a
+    replacement pod. *)
+
 (** {2 Flow cache}
 
     ONCache-style per-namespace memoization of the complete forwarding

@@ -29,8 +29,8 @@ let of_node node =
 
 let node t = t.kl_node
 
-let configure_nic t ~netns ~mac ?ip ?subnet ?gateway ~k () =
-  Nest_virt.Vm.wait_nic (Node.vm t.kl_node) ~mac ~k:(fun dev ->
+let configure_nic t ~netns ~mac ?ip ?subnet ?gateway ?on_dead ~k () =
+  Nest_virt.Vm.wait_nic (Node.vm t.kl_node) ~mac ?on_dead ~k:(fun dev ->
       Stack.attach netns dev;
       (match (ip, subnet) with
       | Some ip, Some subnet -> Stack.add_addr netns dev ip subnet
@@ -43,6 +43,7 @@ let configure_nic t ~netns ~mac ?ip ?subnet ?gateway ~k () =
       | None -> ());
       t.configured <- t.configured + 1;
       k dev)
+    ()
 
 let pods_configured t = t.configured
 let hotplug_retries t = t.retries
@@ -60,15 +61,25 @@ let hotplug_with_retry t ?(policy = Backoff.default)
     Nest_virt.Host.engine (Nest_virt.Vm.host (Node.vm t.kl_node))
   in
   Backoff.retry engine policy
-    ~on_retry:(fun ~attempt:_ ~delay_ns:_ ->
+    ~on_retry:(fun ~attempt ~delay_ns ->
       t.retries <- t.retries + 1;
       (* Registered on first retry only: unfaulted runs must not grow a
          zero-valued row in existing metrics dumps. *)
+      let metrics = Nest_sim.Engine.metrics engine in
       Nest_sim.Metrics.bump
-        (Nest_sim.Metrics.counter
-           (Nest_sim.Engine.metrics engine)
-           "recovery.hotplug_retries")
+        (Nest_sim.Metrics.counter metrics "recovery.hotplug_retries")
         ();
+      (* The schedule as data (satellite of the exactly-once work): which
+         attempt we are on and how long this retry sleeps, so a chaos
+         report can read retry-storm intensity straight off the metrics
+         ([fault.retry_attempt] vmax = deepest backoff reached,
+         [fault.retry_delay_ms] total = wall time sunk into waiting). *)
+      Nest_sim.Stats.add
+        (Nest_sim.Metrics.histogram metrics "fault.retry_attempt")
+        (float_of_int attempt);
+      Nest_sim.Stats.add
+        (Nest_sim.Metrics.histogram metrics "fault.retry_delay_ms")
+        (float_of_int delay_ns /. 1e6);
       Nest_sim.Engine.trace_instant engine ~cat:"fault" ~name:"hotplug_retry"
         ~arg:(Node.name t.kl_node) ())
     (fun ~attempt:_ ~k -> issue ~k)

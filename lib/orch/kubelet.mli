@@ -27,12 +27,15 @@ val configure_nic :
   ?ip:Ipv4.t ->
   ?subnet:Ipv4.cidr ->
   ?gateway:Ipv4.t ->
+  ?on_dead:(unit -> unit) ->
   k:(Dev.t -> unit) ->
   unit ->
   unit
 (** Waits for the device with [mac] to become guest-visible (the udev
     moment), moves it into [netns], optionally assigns [ip]/[subnet] and
-    a default route via [gateway], then hands it to [k]. *)
+    a default route via [gateway], then hands it to [k].  [on_dead] fires
+    instead of [k] if the VM dies before the device arrives, so plugins
+    can release resources (an IPAM lease) reserved for the NIC. *)
 
 val pods_configured : t -> int
 (** How many NICs this agent has configured (diagnostics). *)

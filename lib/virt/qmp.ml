@@ -15,6 +15,18 @@ let command_name = function
   | Device_add _ -> "device_add"
   | Device_del _ -> "device_del"
 
+(* The id names the logical operation: an orchestrator retry re-issues
+   the command with the same id, a distinct operation uses a fresh one
+   (QEMU itself enforces this by refusing duplicate ids).  Command name +
+   id is therefore a usable idempotency key: the VMM's reply journal
+   dedupes re-applies under it, turning "timeout" into "applied but ack
+   lost" instead of "unknown". *)
+let idempotency_key = function
+  | Netdev_add { id; _ } -> "netdev_add:" ^ id
+  | Netdev_add_hostlo { id; _ } -> "netdev_add_hostlo:" ^ id
+  | Device_add { id; _ } -> "device_add:" ^ id
+  | Device_del { id } -> "device_del:" ^ id
+
 let pp_response fmt = function
   | Ok_done -> Format.pp_print_string fmt "ok"
   | Ok_nic { mac } -> Format.fprintf fmt "ok mac=%a" Nest_net.Mac.pp mac

@@ -22,4 +22,14 @@ type response =
   | Error of string
 
 val command_name : command -> string
+
+val idempotency_key : command -> string
+(** ["<command_name>:<id>"].  The id names the logical operation —
+    orchestrator retries re-issue the same id, distinct operations use
+    fresh ones — so the key identifies exactly one intended state change.
+    {!Vmm.execute} journals the reply of every applied command under this
+    key and answers a retried command from the journal instead of
+    re-applying it (exactly-once hot-plug: a lost ack no longer means a
+    duplicated device). *)
+
 val pp_response : Format.formatter -> response -> unit

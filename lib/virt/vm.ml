@@ -13,7 +13,7 @@ type t = {
   vm_ns : Stack.ns;
   mutable entity_list : string list;
   mutable nic_list : Dev.t list;
-  mutable nic_waiters : (Mac.t * (Dev.t -> unit)) list;
+  mutable nic_waiters : (Mac.t * (Dev.t -> unit) * (unit -> unit)) list;
   mutable netns_list : Stack.ns list;
   mutable vm_alive : bool;
 }
@@ -81,18 +81,39 @@ let guest_hops t ~veth:() =
 
 let entities t = t.entity_list
 
+(* Hostlo endpoints all carry the reflector tap's MAC (§4.2: one
+   interface multiplexed between VMs), so a MAC can match several
+   devices.  A device already claimed by a namespace ([rx_fn] set by
+   [Stack.attach]) must never match again — handing it out would rebind
+   its receive path and silently steal it from the first owner.  The
+   agent matches the first *unclaimed* device, like udev matching the
+   newly-probed instance rather than grepping the MAC table. *)
+let unclaimed d = Option.is_none d.Dev.rx_fn
+
 let nic_arrived t dev =
   t.nic_list <- t.nic_list @ [ dev ];
-  let ready, waiting =
-    List.partition (fun (mac, _) -> Mac.equal mac dev.Dev.mac) t.nic_waiters
+  (* One arrival satisfies one waiter: with shared-MAC endpoints, two
+     concurrent configures must end up on two distinct devices. *)
+  let rec pop acc = function
+    | [] -> (None, List.rev acc)
+    | ((mac, k, _) as w) :: rest ->
+      if Mac.equal mac dev.Dev.mac then (Some k, List.rev_append acc rest)
+      else pop (w :: acc) rest
   in
+  let ready, waiting = pop [] t.nic_waiters in
   t.nic_waiters <- waiting;
-  List.iter (fun (_, k) -> k dev) ready
+  match ready with Some k -> k dev | None -> ()
 
-let wait_nic t ~mac ~k =
-  match List.find_opt (fun d -> Mac.equal d.Dev.mac mac) t.nic_list with
-  | Some dev -> k dev
-  | None -> t.nic_waiters <- t.nic_waiters @ [ (mac, k) ]
+let wait_nic t ~mac ?(on_dead = fun () -> ()) ~k () =
+  if not t.vm_alive then on_dead ()
+  else
+    match
+      List.find_opt
+        (fun d -> Mac.equal d.Dev.mac mac && unclaimed d)
+        t.nic_list
+    with
+    | Some dev -> k dev
+    | None -> t.nic_waiters <- t.nic_waiters @ [ (mac, k, on_dead) ]
 
 let nics t = t.nic_list
 let netns_list t = t.netns_list
@@ -106,7 +127,12 @@ let alive t = t.vm_alive
    arrive are discarded. *)
 let kill t =
   t.vm_alive <- false;
+  let waiters = t.nic_waiters in
   t.nic_waiters <- [];
+  (* Tell each abandoned waiter its NIC will never arrive, so the owner
+     can release whatever it reserved for the device (an IPAM lease, a
+     pool slot) instead of leaking it with the dead VM. *)
+  List.iter (fun (_, _, on_dead) -> on_dead ()) waiters;
   List.iter (fun d -> Dev.set_up d false) t.nic_list;
   let down_ns ns = List.iter (fun d -> Dev.set_up d false) (Stack.devices ns) in
   down_ns t.vm_ns;

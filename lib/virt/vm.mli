@@ -51,8 +51,14 @@ val entities : t -> string list
 val nic_arrived : t -> Dev.t -> unit
 (** Called by the VMM when a hot-plugged NIC becomes guest-visible. *)
 
-val wait_nic : t -> mac:Mac.t -> k:(Dev.t -> unit) -> unit
-(** Runs [k] with the device once (immediately if already present). *)
+val wait_nic :
+  t -> mac:Mac.t -> ?on_dead:(unit -> unit) -> k:(Dev.t -> unit) -> unit ->
+  unit
+(** Runs [k] with the device once (immediately if already present).
+    [on_dead] (default: nothing) fires instead of [k] if the VM dies
+    before the device arrives — or immediately if it is already dead —
+    so callers can release resources reserved for the NIC rather than
+    leak them with the waiter. *)
 
 val nics : t -> Dev.t list
 

@@ -32,21 +32,11 @@ let service_cv = 0.25
    histogram update). *)
 let client_cost_ns = 11_000
 
-let run tb (ep : App.endpoints) ?(threads = 4) ?(conns_per_thread = 50)
-    ?(value_size = 100) ?(server_threads = 4) ?(warmup = Time.ms 100)
-    ?(duration = Time.sec 1) () =
-  let engine = tb.Testbed.engine in
-  let rng = Nest_sim.Prng.split (Engine.rng engine) in
-  let latency = Nest_sim.Stats.create ~name:"memcached_us" () in
-  let gets = ref 0 and sets = ref 0 and responses = ref 0 in
-  let measuring = ref false in
-  let stop_at = ref max_int in
-  let pool = App.Pool.create ep.App.sv_new_exec ~n:server_threads ~name:"mc" in
-  let client_pool =
-    App.Pool.create ep.App.cl_new_exec ~n:threads ~name:"memtier"
-  in
-  (* Server: service each request on a worker thread, then respond. *)
-  Stack.Tcp.listen ep.App.sv_ns ~port:ep.App.sv_port ~on_accept:(fun conn ->
+(* Server half: service each request on a worker thread, then respond.
+   Factored out so chaos cells can re-deploy it into a fresh pod
+   namespace after a crash; [run] below uses it unchanged. *)
+let serve ~pool ~rng ~value_size ns ~port =
+  Stack.Tcp.listen ns ~port ~on_accept:(fun conn ->
       Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
           List.iter
             (fun msg ->
@@ -72,7 +62,22 @@ let run tb (ep : App.endpoints) ?(threads = 4) ?(conns_per_thread = 50)
                         ~msg:(Mc_response { id; t0 })
                         ())
               | _ -> ())
-            msgs));
+            msgs))
+
+let run tb (ep : App.endpoints) ?(threads = 4) ?(conns_per_thread = 50)
+    ?(value_size = 100) ?(server_threads = 4) ?(warmup = Time.ms 100)
+    ?(duration = Time.sec 1) () =
+  let engine = tb.Testbed.engine in
+  let rng = Nest_sim.Prng.split (Engine.rng engine) in
+  let latency = Nest_sim.Stats.create ~name:"memcached_us" () in
+  let gets = ref 0 and sets = ref 0 and responses = ref 0 in
+  let measuring = ref false in
+  let stop_at = ref max_int in
+  let pool = App.Pool.create ep.App.sv_new_exec ~n:server_threads ~name:"mc" in
+  let client_pool =
+    App.Pool.create ep.App.cl_new_exec ~n:threads ~name:"memtier"
+  in
+  serve ~pool ~rng ~value_size ep.App.sv_ns ~port:ep.App.sv_port;
   (* memtier: one closed loop per connection. *)
   let next_id = ref 0 in
   let new_request conn =
@@ -123,3 +128,137 @@ let run tb (ep : App.endpoints) ?(threads = 4) ?(conns_per_thread = 50)
   Stack.Tcp.unlisten ep.App.sv_ns ~port:ep.App.sv_port;
   { responses_per_sec = float_of_int !responses /. Time.to_sec_f duration;
     latency; gets = !gets; sets = !sets }
+
+(* ---- fault-tolerant driver (chaos cells) ----
+
+   [run] owns the engine and assumes the server outlives the clients;
+   neither holds in a chaos cell.  This driver keeps memtier's shape —
+   closed loops over persistent connections, the same op mix and costs —
+   but treats the connection as mortal: an op that times out twice in a
+   row (or a connection that dies under it) suspends the loop instead of
+   wedging it or raising on backpressure.  The harness resumes suspended
+   loops when it knows the service is back ([mcd_resume] from its
+   re-deploy hook) — informed reconnection, not blind retry. *)
+
+type mc_driver = {
+  mcd_sent : unit -> int;
+  mcd_dropped : unit -> int;
+  mcd_completions : unit -> (Time.ns * float) list;
+  mcd_resume : unit -> unit;
+}
+
+let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
+    ?(value_size = 100) ?(op_timeout = Time.ms 60)
+    ?(connect_timeout = Time.ms 500) ~start ~stop () =
+  let engine = tb.Testbed.engine in
+  let rng = Nest_sim.Prng.split (Engine.rng engine) in
+  let client_pool = App.Pool.create cl_new_exec ~n:threads ~name:"memtier-f" in
+  let sent = ref 0 and dropped = ref 0 in
+  let completions = ref [] in
+  let suspended = ref 0 in
+  let next_id = ref 0 in
+  (* Bumped by every [mcd_resume].  A connection remembers the epoch it
+     was born under; giving up in a *later* epoch means the service was
+     re-deployed while this loop was still striking out against the dead
+     generation — reconnect at once instead of suspending, or the resume
+     edge (which already passed) would never be seen again. *)
+  let epoch = ref 0 in
+  let rec start_conn () =
+    if Engine.now engine >= stop then ()
+    else
+      match target () with
+      | None -> incr suspended
+      | Some (addr, port) ->
+        let my_epoch = !epoch in
+        let established = ref false in
+        let awaiting = ref 0 in
+        let strikes = ref 0 in
+        let gone = ref false in
+        let give_up conn =
+          if not !gone then begin
+            gone := true;
+            (try Stack.Tcp.close conn with _ -> ());
+            if Engine.now engine < stop then
+              if !epoch > my_epoch then start_conn () else incr suspended
+          end
+        in
+        let rec new_request conn =
+          if Engine.now engine >= stop || !gone then ()
+          else begin
+            incr next_id;
+            let id = !next_id in
+            let op = if Nest_sim.Prng.int rng 11 = 0 then Set else Get in
+            let bytes =
+              match op with
+              | Get -> get_request_bytes
+              | Set -> set_request_bytes value_size
+            in
+            incr sent;
+            awaiting := id;
+            App.Pool.submit client_pool ~cost:client_cost_ns (fun () ->
+                if (not !gone) && not (Stack.Tcp.is_closed conn) then
+                  (* Raw send, not [App.send_all]: with the server dead
+                     nothing drains the socket, so backpressure is
+                     survival information here, not a protocol bug. *)
+                  ignore
+                    (Stack.Tcp.send conn ~size:bytes
+                       ~msg:(Mc_request { op; id; t0 = Engine.now engine })
+                       ()));
+            Engine.schedule engine ~label:"mc:watchdog" ~delay:op_timeout
+              (fun () ->
+                if (not !gone) && !awaiting = id then begin
+                  incr dropped;
+                  incr strikes;
+                  awaiting := 0;
+                  if !strikes >= 2 || Stack.Tcp.is_closed conn then
+                    give_up conn
+                  else new_request conn
+                end)
+          end
+        in
+        let conn =
+          Stack.Tcp.connect cl_ns ~dst:addr ~port
+            ~on_established:(fun conn ->
+              established := true;
+              Stack.Tcp.set_on_receive conn (fun ~bytes:_ ~msgs ->
+                  List.iter
+                    (fun msg ->
+                      match msg with
+                      | Mc_response { id; t0 }
+                        when (not !gone) && !awaiting = id ->
+                        awaiting := 0;
+                        strikes := 0;
+                        completions :=
+                          ( Engine.now engine,
+                            Time.to_us_f (Engine.now engine - t0) )
+                          :: !completions;
+                        if Engine.now engine < stop then new_request conn
+                      | _ -> ())
+                    msgs);
+              new_request conn)
+            ()
+        in
+        (* A SYN into a dead VM never completes the handshake.  The
+           window must outlive at least one SYN retransmission (RTO
+           200 ms): right after a re-deploy the first SYN can chase a
+           stale neighbour entry — the replacement pod's gratuitous ARP
+           is still propagating — and only the retransmit connects. *)
+        Engine.schedule engine ~label:"mc:connect" ~delay:connect_timeout
+          (fun () -> if not !established then give_up conn)
+  in
+  let resume () =
+    incr epoch;
+    let n = !suspended in
+    suspended := 0;
+    for _ = 1 to n do
+      start_conn ()
+    done
+  in
+  Engine.schedule_at engine ~label:"mc:start" ~at:start (fun () ->
+      for _ = 1 to conns do
+        start_conn ()
+      done);
+  { mcd_sent = (fun () -> !sent);
+    mcd_dropped = (fun () -> !dropped);
+    mcd_completions = (fun () -> List.rev !completions);
+    mcd_resume = resume }

@@ -28,3 +28,56 @@ val run :
   result
 (** Defaults follow Table 1: 4 threads, 50 connections/thread, 1:10
     SET:GET; 100-byte values; 4 server worker threads. *)
+
+(** {2 Fault-tolerant pieces (chaos cells)}
+
+    {!run} owns the engine and assumes the server outlives the client;
+    neither holds under fault injection.  [serve] is the server half on
+    its own, re-deployable into a fresh pod namespace; [drive] is a
+    memtier-shaped client whose connections are mortal: a request that
+    times out twice in a row (or a connection that dies under it)
+    suspends that loop, and the harness resumes suspended loops when it
+    knows the service is back. *)
+
+val serve :
+  pool:App.Pool.t ->
+  rng:Nest_sim.Prng.t ->
+  value_size:int ->
+  Nest_net.Stack.ns ->
+  port:int ->
+  unit
+(** Listen and service requests on the pool's worker threads (lognormal
+    per-op cost drawn from [rng]), exactly as inside {!run}. *)
+
+type mc_driver = {
+  mcd_sent : unit -> int;
+  mcd_dropped : unit -> int;      (** ops lost to the watchdog *)
+  mcd_completions : unit -> (Nest_sim.Time.ns * float) list;
+      (** (completion time, latency us) in completion order *)
+  mcd_resume : unit -> unit;
+      (** reconnect every suspended loop — call when the service is
+          known to be back (the harness's re-deploy hook) *)
+}
+
+val drive :
+  Testbed.t ->
+  cl_ns:Nest_net.Stack.ns ->
+  cl_new_exec:(string -> Nest_sim.Exec.t) ->
+  target:(unit -> (Nest_net.Ipv4.t * int) option) ->
+  ?threads:int ->
+  ?conns:int ->
+  ?value_size:int ->
+  ?op_timeout:Nest_sim.Time.ns ->
+  ?connect_timeout:Nest_sim.Time.ns ->
+  start:Nest_sim.Time.ns ->
+  stop:Nest_sim.Time.ns ->
+  unit ->
+  mc_driver
+(** Closed loops from [cl_ns] against whatever [target] currently
+    answers (polled at each (re)connect).  Runs between [start] and
+    [stop] of virtual time without ever calling [Engine.run].  Defaults:
+    2 threads, 4 connections, 60 ms op timeout.  [connect_timeout]
+    (default 500 ms) bounds the handshake instead: it must outlive a SYN
+    retransmission, because the first SYN after a re-deploy can chase a
+    stale neighbour entry and only the retransmit reaches the
+    replacement pod. *)

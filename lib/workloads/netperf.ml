@@ -158,3 +158,78 @@ let tcp_rr tb (ep : App.endpoints) ~msg_size ?(warmup = Time.ms 50)
   { latency; transactions = !transactions }
 
 let default_sizes = [ 64; 128; 256; 512; 1024; 1280; 2048; 4096; 8192; 16384 ]
+
+(* ---- fault-tolerant UDP_RR driver (chaos cells) ----
+
+   [udp_rr] above owns the engine: it drives [Engine.run] to completion,
+   which a chaos cell — whose engine is busy crashing VMs — cannot use.
+   This driver is purely event-scheduled: same closed loop, same
+   application costs, but each transaction is armed with a resend
+   watchdog so the loop survives a dead server instead of wedging on the
+   first lost datagram.  Transactions lost to the watchdog are counted;
+   completions carry their wall-clock time so the harness can split
+   latency into during-fault and post-recovery windows. *)
+
+type Nest_net.Payload.app_msg += Rr_tagged of { seq : int; t0 : Time.ns }
+
+let udp_echo_server ns ~port ~exec =
+  Stack.Udp.bind ns ~port (fun s ~src payload ->
+      let ip, p = src in
+      Nest_sim.Exec.submit exec ~cost:app_recv_cost_ns (fun () ->
+          Stack.Udp.sendto s ~dst:ip ~dst_port:p payload))
+
+type rr_driver = {
+  rrd_sent : unit -> int;
+  rrd_lost : unit -> int;
+  rrd_completions : unit -> (Time.ns * float) list;
+}
+
+let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
+    ?(resend_timeout = Time.ms 10) ~start ~stop () =
+  let engine = tb.Testbed.engine in
+  let sent = ref 0 and lost = ref 0 in
+  let completions = ref [] in
+  (* Sequence tags tell a live transaction's reply from a stale one: a
+     reply outrun by its own watchdog must not complete the transaction
+     the watchdog already re-drove. *)
+  let outstanding = ref 0 in
+  let seq = ref 0 in
+  let sock = ref None in
+  let rec send_next () =
+    if Engine.now engine < stop then begin
+      incr seq;
+      let s = !seq in
+      outstanding := s;
+      incr sent;
+      (match (!sock, target ()) with
+      | Some sk, Some (ip, p) ->
+        Stack.Udp.sendto sk ~dst:ip ~dst_port:p
+          (Payload.make ~size:msg_size
+             (Rr_tagged { seq = s; t0 = Engine.now engine }))
+      | _ -> ());
+      Engine.schedule engine ~label:"rr:watchdog" ~delay:resend_timeout
+        (fun () ->
+          if !outstanding = s then begin
+            incr lost;
+            outstanding := 0;
+            send_next ()
+          end)
+    end
+  in
+  let sk =
+    Stack.Udp.bind cl_ns ~port:0 (fun _ ~src:_ payload ->
+        match payload.Payload.msg with
+        | Some (Rr_tagged { seq = s; t0 }) when !outstanding = s ->
+          outstanding := 0;
+          completions :=
+            (Engine.now engine, Time.to_us_f (Engine.now engine - t0))
+            :: !completions;
+          if Engine.now engine < stop then
+            Nest_sim.Exec.submit cl_exec ~cost:app_send_cost_ns send_next
+        | _ -> ())
+  in
+  sock := Some sk;
+  Engine.schedule_at engine ~label:"rr:start" ~at:start send_next;
+  { rrd_sent = (fun () -> !sent);
+    rrd_lost = (fun () -> !lost);
+    rrd_completions = (fun () -> List.rev !completions) }

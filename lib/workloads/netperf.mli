@@ -56,3 +56,44 @@ val tcp_rr :
 
 val default_sizes : int list
 (** The message-size sweep of Figs. 4 and 10: 64 B .. 16 KiB. *)
+
+(** {2 Fault-tolerant UDP_RR driver}
+
+    {!udp_rr} drives the engine itself, which a chaos cell cannot allow.
+    The driver below is purely event-scheduled: the same closed loop and
+    application costs, but each transaction is armed with a resend
+    watchdog so a dead or restarting server costs counted losses rather
+    than a wedged loop. *)
+
+val udp_echo_server :
+  Nest_net.Stack.ns -> port:int -> exec:Nest_sim.Exec.t ->
+  Nest_net.Stack.Udp.sock
+(** The UDP_RR server half on its own: echo after the per-transaction
+    application cost on [exec].  Re-deployable into a fresh pod namespace
+    after a crash. *)
+
+type rr_driver = {
+  rrd_sent : unit -> int;        (** transactions attempted so far *)
+  rrd_lost : unit -> int;        (** given up on by the resend watchdog *)
+  rrd_completions : unit -> (Nest_sim.Time.ns * float) list;
+      (** (completion time, round-trip us) in completion order — the
+          harness splits these into during-fault and post-recovery
+          windows itself. *)
+}
+
+val udp_rr_driver :
+  Nestfusion.Testbed.t ->
+  cl_ns:Nest_net.Stack.ns ->
+  cl_exec:Nest_sim.Exec.t ->
+  target:(unit -> (Nest_net.Ipv4.t * int) option) ->
+  msg_size:int ->
+  ?resend_timeout:Nest_sim.Time.ns ->
+  start:Nest_sim.Time.ns ->
+  stop:Nest_sim.Time.ns ->
+  unit ->
+  rr_driver
+(** Closed-loop UDP_RR from [cl_ns] against whatever [target] currently
+    answers (polled per send, so the harness can re-point it after a
+    re-deploy; [None] while the service is down just burns watchdog
+    losses).  Runs between [start] and [stop] of virtual time without
+    ever calling [Engine.run]. *)

@@ -102,16 +102,83 @@ let test_hostlo_crash_no_dangling_queue () =
     (owners ());
   (* Restart the VM and re-add its fraction: the persisting reflector
      grows a fresh queue for the replacement. *)
+  let booted = ref None in
+  let started =
+    Vmm.restart_vm tb.Testbed.vmm ~name:"vm2"
+      ~k:(fun vm' -> booted := Some (Nest_orch.Node.create vm'))
+      ()
+  in
+  Alcotest.(check bool) "restart accepted" true started;
+  Testbed.run_until tb (Time.sec 1 + Time.ms 500);
   let node' =
-    match Vmm.restart_vm tb.Testbed.vmm ~name:"vm2" with
-    | Some vm' -> Nest_orch.Node.create vm'
-    | None -> Alcotest.fail "restart_vm failed"
+    match !booted with
+    | Some n -> n
+    | None -> Alcotest.fail "restart_vm did not boot"
   in
   add node';
   Testbed.run_until tb (Time.sec 2);
   Alcotest.(check int) "re-added fraction set up" 3 !added;
   Alcotest.(check (list string)) "fresh queue after reattach"
     [ "vm1"; "vm2" ] (owners ())
+
+(* ------------------------------------------------------------------ *)
+(* Exactly-once hot-plug: an applied-but-ack-lost Device_add, retried
+   with the same id, answers from the reply journal — one NIC, not two. *)
+
+let test_partial_timeout_dedupe () =
+  let tb = Testbed.create ~num_vms:1 () in
+  Testbed.run_until tb (Time.ms 1);
+  let vmm = tb.Testbed.vmm in
+  let vm = Testbed.vm tb 0 in
+  let first = ref true in
+  Vmm.set_qmp_fault vmm
+    (Some
+       (fun ~vm:_ cmd ->
+         match cmd with
+         | Nest_virt.Qmp.Device_add _ when !first ->
+           first := false;
+           Vmm.Partial_timeout (Time.ms 50)
+         | _ -> Vmm.Pass));
+  let nics0 = List.length (Nest_virt.Vm.nics vm) in
+  let replies = ref [] in
+  Vmm.execute vmm ~vm
+    (Nest_virt.Qmp.Netdev_add { id = "dup"; bridge = "virbr0" })
+    (fun _ ->
+      let dev_add = Nest_virt.Qmp.Device_add { id = "dup"; netdev = "dup" } in
+      Vmm.execute vmm ~vm dev_add (fun r1 ->
+          replies := ("first", r1) :: !replies;
+          (* The orchestrator's retry of the same logical operation. *)
+          Vmm.execute vmm ~vm dev_add (fun r2 ->
+              replies := ("retry", r2) :: !replies)));
+  Testbed.run_until tb (Time.sec 1);
+  Vmm.set_qmp_fault vmm None;
+  (match List.assoc_opt "first" !replies with
+  | Some (Nest_virt.Qmp.Error _) -> ()
+  | _ -> Alcotest.fail "first attempt should lose its ack (Error)");
+  (match List.assoc_opt "retry" !replies with
+  | Some (Nest_virt.Qmp.Ok_nic _) -> ()
+  | _ -> Alcotest.fail "retry should answer Ok_nic from the journal");
+  Alcotest.(check int) "exactly one NIC plugged" (nics0 + 1)
+    (List.length (Nest_virt.Vm.nics vm));
+  (match
+     Nest_sim.Metrics.find
+       (Nest_sim.Engine.metrics tb.Testbed.engine)
+       "qmp.dedupe"
+   with
+  | Some (Nest_sim.Metrics.Counter n) ->
+    Alcotest.(check bool) "dedupe counted" true (n >= 1)
+  | _ -> Alcotest.fail "qmp.dedupe metric missing");
+  Alcotest.(check (list string)) "vmm invariants hold" []
+    (Vmm.check_invariants vmm)
+
+(* Under a fault plan with Partial_timeout probability 0.3 (rate 0.6 maps
+   to partial_prob = 0.3), the drained cell must hold the no-leak
+   invariants: every IPAM lease belongs to a live pod, no duplicate
+   devices, lifecycle tables consistent. *)
+let test_partial_faults_no_leak () =
+  let o = Chaos.run_cell ~quick:true ~mode:`Brfusion ~rate:0.6 ~seed:21L () in
+  Alcotest.(check int) "no leaked IPAM leases" 0 o.Chaos.o_leaked_leases;
+  Alcotest.(check (list string)) "vmm invariants hold" [] o.Chaos.o_invariants
 
 let () =
   Alcotest.run "fault"
@@ -126,4 +193,9 @@ let () =
             test_jobs_fanout_deterministic ] );
       ( "recovery",
         [ Alcotest.test_case "hostlo crash leaves no dangling queue" `Quick
-            test_hostlo_crash_no_dangling_queue ] ) ]
+            test_hostlo_crash_no_dangling_queue ] );
+      ( "exactly_once",
+        [ Alcotest.test_case "partial timeout dedupes on retry" `Quick
+            test_partial_timeout_dedupe;
+          Alcotest.test_case "partial faults leak nothing" `Slow
+            test_partial_faults_no_leak ] ) ]

@@ -108,7 +108,7 @@ let test_hotplug_protocol_steps () =
   Alcotest.(check bool) "not visible immediately" true
     (not (List.exists (fun d -> Mac.equal d.Dev.mac m) (Vm.nics vm)));
   let seen = ref false in
-  Vm.wait_nic vm ~mac:m ~k:(fun _ -> seen := true);
+  Vm.wait_nic vm ~mac:m ~k:(fun _ -> seen := true) ();
   Engine.run ~until:(Engine.now e + Time.ms 200) e;
   Alcotest.(check bool) "guest-visible after probe" true !seen
 
