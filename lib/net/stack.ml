@@ -34,16 +34,45 @@ type ns_counters = {
    A verdict is valid while none of the state it was derived from has
    mutated; each mutable table carries a monotonic generation counter and
    the verdict records their sum at install time (all counters only grow,
-   so sum equality is equivalent to component-wise equality).  Per-packet
-   work that is not flow-invariant — conntrack translation, TTL
-   decrement, hop costing, delivery counters — still runs on the fast
+   so sum equality is equivalent to component-wise equality; [fc_stamp]
+   asserts the monotonicity and guards the sum against saturation).
+   Neighbour state is scoped finer: instead of folding ARP churn into the
+   namespace-wide generation, each verdict that resolved a next hop also
+   records that destination's per-neighbour generation ([fc_ngen]), so a
+   MAC move — chaos recovery announces them in gratuitous-ARP bursts —
+   kills only the verdicts that reference the moved neighbour.
+
+   Reflector (Hostlo) egress additionally depends on live socket state:
+   the local-deliver vs reflect split consults the socket tables, and the
+   endpoint can be rebound wholesale (standby-pool claim).  Those inputs
+   get their own generations — [sock_gen] for the socket tables and the
+   device's binding generation (see {!Dev.bump_binding}) — folded into
+   [rf_gen] at install time, which makes the previously uncacheable
+   reflector decision an ordinary stamped verdict.
+
+   Per-packet work that is not flow-invariant — conntrack translation,
+   TTL decrement, hop costing, delivery counters — still runs on the fast
    path, so cached and uncached packets are simulated identically. *)
 type fc_tx = { fc_dev : Dev.t; fc_next_hop : Ipv4.t; fc_mac : Mac.t }
 
-type fc_out = Fc_out_local | Fc_out_tx of fc_tx
+type fc_reflect = Rf_local | Rf_tx of fc_tx
+
+type fc_out =
+  | Fc_out_local
+  | Fc_out_tx of fc_tx
+  | Fc_out_reflect of {
+      rf_dev : Dev.t;
+      rf_gen : int;   (* sock_gen + endpoint binding generation at install *)
+      rf_syn : bool;  (* derived from a connection-opening SYN?  The
+                         listener clause of the socket match only applies
+                         to such packets, so a verdict may be replayed
+                         only for packets of the same class. *)
+      rf_v : fc_reflect;
+    }
+
 type fc_in = Fc_in_deliver | Fc_in_forward of fc_tx
 
-type 'v fc_verdict = { fc_stamp : int; fc_v : 'v }
+type 'v fc_verdict = { fc_stamp : int; fc_ngen : int; fc_v : 'v }
 
 (* TCP tuning.  Values follow Linux defaults where a default exists. *)
 let sndbuf_default = 262_144
@@ -145,11 +174,20 @@ and ns = {
   ns_rng : Nest_sim.Prng.t;
   (* Flow cache (see the comment on [fc_tx]). *)
   mutable fc_enabled : bool;
-  mutable fc_gen : int;  (* bumped on addr/dev/ARP/fwd-flag mutation *)
+  mutable fc_gen : int;  (* bumped on addr/dev/fwd-flag mutation *)
+  mutable sock_gen : int;  (* bumped on any socket-table mutation *)
+  neigh_gen : (Ipv4.t, int) Hashtbl.t;  (* per-destination ARP moves *)
   out_cache : (Conntrack.flow, fc_out fc_verdict) Hashtbl.t;
   in_cache : (string * Conntrack.flow, fc_in fc_verdict) Hashtbl.t;
   mutable fc_hits : int;
   mutable fc_misses : int;
+  mutable fc_inval_full : int;    (* whole-cache invalidations *)
+  mutable fc_inval_scoped : int;  (* single-neighbour invalidations *)
+  (* Last component generations seen by [fc_stamp], for the debug
+     assertion that each one is monotonic (sum aliasing guard). *)
+  mutable fc_seen_rt : int;
+  mutable fc_seen_nf : int;
+  mutable fc_seen_ct : int;
 }
 
 (* Scheduler wakeup latency: base plus an exponential tail (run-queue
@@ -203,7 +241,8 @@ let find_dev ns n = List.find_opt (fun d -> d.Dev.name = n) ns.devs
 let addrs ns = ns.addr_list
 let set_ip_forward ns b =
   ns.fwd <- b;
-  ns.fc_gen <- ns.fc_gen + 1
+  ns.fc_gen <- ns.fc_gen + 1;
+  ns.fc_inval_full <- ns.fc_inval_full + 1
 let set_trace_all ns b = ns.trace_all <- b
 let set_provenance_all ns b = ns.prov_all <- b
 
@@ -255,11 +294,38 @@ let arp_cache ns =
 (* ------------------------------------------------------------------ *)
 (* Flow cache                                                          *)
 
+(* Margin before [max_int] at which the saturation guard trips.  Far
+   larger than any realistic mutation count, far smaller than the range
+   it protects. *)
+let fc_stamp_margin = 0xffff
+
+(* The stamp is a SUM of four generation counters.  Sum equality stands
+   in for component-wise equality only because every component is
+   monotonic non-decreasing: a later +1/-1 pair across two components
+   could otherwise alias a stamp back onto a stale verdict.  The debug
+   assertion pins the invariant (each component never observed to
+   decrease); release builds compile it out and the datapath pays two
+   loads per component.  Should the sum ever approach [max_int] — it
+   cannot overflow silently, OCaml ints wrap — the cache fails safe by
+   switching itself off for this namespace instead of risking aliased
+   stamps after a wrap. *)
 let fc_stamp ns =
-  Route.generation ns.rt
-  + Netfilter.generation ns.nf_tbl
-  + Conntrack.generation ns.ct_tbl
-  + ns.fc_gen
+  let rt_gen = Route.generation ns.rt in
+  let nf_gen = Netfilter.generation ns.nf_tbl in
+  let ct_gen = Conntrack.generation ns.ct_tbl in
+  assert (
+    rt_gen >= ns.fc_seen_rt && nf_gen >= ns.fc_seen_nf
+    && ct_gen >= ns.fc_seen_ct);
+  ns.fc_seen_rt <- rt_gen;
+  ns.fc_seen_nf <- nf_gen;
+  ns.fc_seen_ct <- ct_gen;
+  let s = rt_gen + nf_gen + ct_gen + ns.fc_gen in
+  if s >= max_int - fc_stamp_margin && ns.fc_enabled then begin
+    ns.fc_enabled <- false;
+    Hashtbl.reset ns.out_cache;
+    Hashtbl.reset ns.in_cache
+  end;
+  s
 
 (* Stale entries linger until overwritten or the cap trips; they are
    harmless (the stamp check rejects them) but bound the tables anyway. *)
@@ -269,7 +335,66 @@ let fc_install tbl key v =
   if Hashtbl.length tbl >= fc_cap then Hashtbl.reset tbl;
   Hashtbl.replace tbl key v
 
-let fc_invalidate ns = ns.fc_gen <- ns.fc_gen + 1
+let fc_invalidate ns =
+  ns.fc_gen <- ns.fc_gen + 1;
+  ns.fc_inval_full <- ns.fc_inval_full + 1
+
+(* Per-destination invalidation: only verdicts whose resolved next hop is
+   [ip] embed its neighbour generation, so bumping it leaves every other
+   flow's verdict live — a gratuitous-ARP storm no longer collapses the
+   hit rate namespace-wide. *)
+let neigh_generation ns ip =
+  match Hashtbl.find_opt ns.neigh_gen ip with Some g -> g | None -> 0
+
+let fc_invalidate_neigh ns ip =
+  Hashtbl.replace ns.neigh_gen ip (neigh_generation ns ip + 1);
+  ns.fc_inval_scoped <- ns.fc_inval_scoped + 1
+
+(* Socket-table generation: any bind/close/listen/connect-registration
+   mutation.  Only reflector verdicts depend on it (their local-deliver
+   vs reflect split consults the socket tables); ordinary verdicts stay
+   live across socket churn. *)
+let sock_mutated ns = ns.sock_gen <- ns.sock_gen + 1
+
+let reflector_gen ns (dev : Dev.t) = ns.sock_gen + Dev.binding_generation dev
+
+let pkt_open_syn (pkt : Packet.t) =
+  match pkt.Packet.transport with
+  | Packet.Tcp { seg; _ } ->
+    seg.Tcp_wire.flags.Tcp_wire.syn && not seg.Tcp_wire.flags.Tcp_wire.ack
+  | Packet.Udp _ | Packet.Icmp_echo _ -> false
+
+(* ICMP echo state (icmp_waiters) churns with every ping, so reflector
+   verdicts for ICMP would invalidate themselves constantly. *)
+let reflect_cachable (pkt : Packet.t) =
+  match pkt.Packet.transport with
+  | Packet.Icmp_echo _ -> false
+  | Packet.Udp _ | Packet.Tcp _ -> true
+
+let fc_tx_live ns v tx = neigh_generation ns tx.fc_next_hop = v.fc_ngen
+
+let fc_out_live ns pkt (v : fc_out fc_verdict) =
+  match v.fc_v with
+  | Fc_out_local -> true
+  | Fc_out_tx tx -> fc_tx_live ns v tx
+  | Fc_out_reflect r ->
+    r.rf_gen = reflector_gen ns r.rf_dev
+    && r.rf_syn = pkt_open_syn pkt
+    && (match r.rf_v with Rf_local -> true | Rf_tx tx -> fc_tx_live ns v tx)
+
+let fc_in_live ns (v : fc_in fc_verdict) =
+  match v.fc_v with
+  | Fc_in_deliver -> true
+  | Fc_in_forward tx -> fc_tx_live ns v tx
+
+let fc_out_ngen ns = function
+  | Fc_out_local | Fc_out_reflect { rf_v = Rf_local; _ } -> 0
+  | Fc_out_tx tx | Fc_out_reflect { rf_v = Rf_tx tx; _ } ->
+    neigh_generation ns tx.fc_next_hop
+
+let fc_in_ngen ns = function
+  | Fc_in_deliver -> 0
+  | Fc_in_forward tx -> neigh_generation ns tx.fc_next_hop
 
 let set_flow_cache ns on =
   ns.fc_enabled <- on;
@@ -278,8 +403,17 @@ let set_flow_cache ns on =
     Hashtbl.reset ns.in_cache
   end
 
+(* Process-wide default applied at namespace creation.  Written only by
+   harness code between runs (bench mechanisms-off passes, equivalence
+   tests) — never from inside a simulation — so reading it under
+   [--jobs N] domains is race-free in practice and atomic regardless. *)
+let fc_default = Atomic.make true
+let set_default_flow_cache b = Atomic.set fc_default b
+let default_flow_cache () = Atomic.get fc_default
+
 let flow_cache_enabled ns = ns.fc_enabled
 let flow_cache_stats ns = (ns.fc_hits, ns.fc_misses)
+let flow_cache_invalidations ns = (ns.fc_inval_full, ns.fc_inval_scoped)
 
 (* Netfilter is "armed" once any rule exists; armed namespaces pay the
    [nat] hop surcharge on their datapath — a fixed hook cost plus a
@@ -371,10 +505,13 @@ let arp_resolve ns dev ip k =
 let arp_learn ns ip mac =
   if not (Ipv4.equal ip Ipv4.any) then begin
     (* A neighbour moving to a new MAC invalidates cached verdicts that
-       resolved the old one; re-learning the same MAC must not (it is the
-       common case and would defeat the cache). *)
+       resolved the old one — and only those: the invalidation is scoped
+       to this destination's neighbour generation, so a recovery-time
+       GARP burst does not flush unrelated flows.  Re-learning the same
+       MAC invalidates nothing (it is the common case and would defeat
+       the cache). *)
     (match Hashtbl.find_opt ns.arp_tbl ip with
-    | Some old when not (Mac.equal old mac) -> fc_invalidate ns
+    | Some old when not (Mac.equal old mac) -> fc_invalidate_neigh ns ip
     | Some _ | None -> ());
     Hashtbl.replace ns.arp_tbl ip mac;
     match Hashtbl.find_opt ns.arp_waiting ip with
@@ -386,10 +523,13 @@ let arp_learn ns ip mac =
   end
 
 let arp_flush ?ip ns =
-  (match ip with
-  | Some ip -> Hashtbl.remove ns.arp_tbl ip
-  | None -> Hashtbl.reset ns.arp_tbl);
-  fc_invalidate ns
+  match ip with
+  | Some ip ->
+    Hashtbl.remove ns.arp_tbl ip;
+    fc_invalidate_neigh ns ip
+  | None ->
+    Hashtbl.reset ns.arp_tbl;
+    fc_invalidate ns
 
 let arp_input ns dev (a : Frame.arp_msg) =
   arp_learn ns a.Frame.sender_ip a.Frame.sender_mac;
@@ -439,9 +579,10 @@ let local_socket_matches ns (pkt : Packet.t) =
    skipped (conntrack-translated flow — the fast path re-translates every
    packet) or returned the packet physically unchanged, and the next hop's
    MAC is already resolved (an async ARP resolution installs nothing; the
-   flow's next packet will).  Reflector devices resolve to broadcast and
-   their delivery-vs-transmit split depends on live socket state, so they
-   are never cached. *)
+   flow's next packet will).  Reflector devices resolve synchronously to
+   broadcast, so their transmit verdict always installs; the caller is
+   responsible for wrapping it with the socket/binding generations its
+   delivery-vs-transmit split depends on. *)
 let transmit_via ?(install = fun (_ : fc_tx) -> ()) ns ~(dev : Dev.t)
     ~next_hop pkt =
   let ctx = { Netfilter.in_dev = None; out_dev = Some dev.Dev.name } in
@@ -454,9 +595,11 @@ let transmit_via ?(install = fun (_ : fc_tx) -> ()) ns ~(dev : Dev.t)
   match post with
   | None -> note_drop ns `Filtered
   | Some pkt ->
-    if dev.Dev.l2 = Dev.Reflector then
-      arp_resolve ns dev next_hop (fun mac ->
-          send_ip_frame ns dev ~dst_mac:mac pkt)
+    if dev.Dev.l2 = Dev.Reflector then begin
+      if translated || pkt == pkt0 then
+        install { fc_dev = dev; fc_next_hop = next_hop; fc_mac = Mac.broadcast };
+      send_ip_frame ns dev ~dst_mac:Mac.broadcast pkt
+    end
     else (
       match Hashtbl.find_opt ns.arp_tbl next_hop with
       | Some mac ->
@@ -489,13 +632,28 @@ let ip_output_slow ns ~install pkt =
     if is_local_addr ns pkt.Packet.dst then begin
       match dev_holding_addr ns pkt.Packet.dst with
       | Some dev when dev.Dev.l2 = Dev.Reflector ->
-        if local_socket_matches ns pkt then deliver_locally ns pkt
+        (* Hostlo: the destination is the pod's localhost; whether it is
+           delivered here or leaves through the reflector depends on live
+           socket state.  The verdict is cachable anyway, stamped with the
+           socket-table and endpoint-binding generations (plus the SYN
+           class for TCP, whose listener clause only matches opening
+           SYNs); ICMP echo state churns per ping and stays uncached. *)
+        let install_rf rf_v =
+          if reflect_cachable pkt then
+            install
+              (Fc_out_reflect
+                 { rf_dev = dev; rf_gen = reflector_gen ns dev;
+                   rf_syn = pkt_open_syn pkt; rf_v })
+        in
+        if local_socket_matches ns pkt then begin
+          if unmangled then install_rf Rf_local;
+          deliver_locally ns pkt
+        end
         else
-          (* Hostlo: the destination is the pod's localhost but the
-             matching socket lives in another fraction — leave through the
-             reflector.  Either way the outcome depends on live socket
-             state, so reflector-held addresses are never cached. *)
-          transmit_via ns ~dev ~next_hop:pkt.Packet.dst pkt
+          transmit_via ns
+            ~install:(if unmangled then fun tx -> install_rf (Rf_tx tx)
+                      else fun _ -> ())
+            ~dev ~next_hop:pkt.Packet.dst pkt
       | Some _ | None ->
         if unmangled then install Fc_out_local;
         deliver_locally ns pkt
@@ -512,36 +670,45 @@ let ip_output_slow ns ~install pkt =
 
 let fc_no_install _ = ()
 
+let fc_out_replay ns pkt (v : fc_out fc_verdict) =
+  ns.fc_hits <- ns.fc_hits + 1;
+  match v.fc_v with
+  | Fc_out_local | Fc_out_reflect { rf_v = Rf_local; _ } ->
+    deliver_locally ns pkt
+  | Fc_out_tx tx | Fc_out_reflect { rf_v = Rf_tx tx; _ } ->
+    (* Translation is per-packet work (it rewrites each packet of a
+       bound flow); the chains stay skipped either because the flow is
+       translated (Linux semantics) or because they were observed to
+       be a no-op for this flow. *)
+    let pkt, _ = Conntrack.translate ns.ct_tbl pkt in
+    send_ip_frame ns tx.fc_dev ~dst_mac:tx.fc_mac pkt
+
 let ip_output ns pkt =
   if not ns.fc_enabled then ip_output_slow ns ~install:fc_no_install pkt
   else
     let key = Conntrack.flow_of_packet pkt in
     let stamp = fc_stamp ns in
     match Hashtbl.find_opt ns.out_cache key with
-    | Some v when v.fc_stamp = stamp -> (
-      ns.fc_hits <- ns.fc_hits + 1;
-      match v.fc_v with
-      | Fc_out_local -> deliver_locally ns pkt
-      | Fc_out_tx tx ->
-        (* Translation is per-packet work (it rewrites each packet of a
-           bound flow); the chains stay skipped either because the flow is
-           translated (Linux semantics) or because they were observed to
-           be a no-op for this flow. *)
-        let pkt, _ = Conntrack.translate ns.ct_tbl pkt in
-        send_ip_frame ns tx.fc_dev ~dst_mac:tx.fc_mac pkt)
+    | Some v when v.fc_stamp = stamp && fc_out_live ns pkt v ->
+      fc_out_replay ns pkt v
     | Some _ | None ->
       ns.fc_misses <- ns.fc_misses + 1;
       ip_output_slow ns pkt ~install:(fun v ->
-          fc_install ns.out_cache key { fc_stamp = stamp; fc_v = v })
+          fc_install ns.out_cache key
+            { fc_stamp = stamp; fc_ngen = fc_out_ngen ns v; fc_v = v })
 
 (* ------------------------------------------------------------------ *)
 (* TCP                                                                 *)
 
 let conn_key_of c = (c.c_local_port, c.c_remote_ip, c.c_remote_port)
 
-let tcp_register c = Hashtbl.replace c.c_ns.conns (conn_key_of c) c
+let tcp_register c =
+  sock_mutated c.c_ns;
+  Hashtbl.replace c.c_ns.conns (conn_key_of c) c
 
-let tcp_unregister c = Hashtbl.remove c.c_ns.conns (conn_key_of c)
+let tcp_unregister c =
+  sock_mutated c.c_ns;
+  Hashtbl.remove c.c_ns.conns (conn_key_of c)
 
 let tcp_make_segment c ~flags ~seq ~len ~msgs =
   let seg =
@@ -1010,7 +1177,7 @@ let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
     let key = (dev.Dev.name, Conntrack.flow_of_packet pkt) in
     let stamp = fc_stamp ns in
     match Hashtbl.find_opt ns.in_cache key with
-    | Some v when v.fc_stamp = stamp -> (
+    | Some v when v.fc_stamp = stamp && fc_in_live ns v -> (
       ns.fc_hits <- ns.fc_hits + 1;
       let pkt, _ = Conntrack.translate ns.ct_tbl pkt in
       match v.fc_v with
@@ -1029,7 +1196,8 @@ let ip_input ns (dev : Dev.t) (pkt : Packet.t) =
     | Some _ | None ->
       ns.fc_misses <- ns.fc_misses + 1;
       ip_input_slow ns dev pkt ~install:(fun v ->
-          fc_install ns.in_cache key { fc_stamp = stamp; fc_v = v })
+          fc_install ns.in_cache key
+            { fc_stamp = stamp; fc_ngen = fc_in_ngen ns v; fc_v = v })
 
 let dev_rx ns dev frame =
   (* L2 address filter. *)
@@ -1084,8 +1252,11 @@ let create engine ~name ~costs ?(with_loopback = true) () =
       next_icmp_id = 1; fwd = false; trace_all = false; prov_all = false;
       prov_tick = 0; cnt; lo = None; observer = None;
       ns_rng = Nest_sim.Prng.split (Engine.rng engine);
-      fc_enabled = true; fc_gen = 0; out_cache = Hashtbl.create 64;
-      in_cache = Hashtbl.create 64; fc_hits = 0; fc_misses = 0 }
+      fc_enabled = default_flow_cache (); fc_gen = 0;
+      sock_gen = 0; neigh_gen = Hashtbl.create 16;
+      out_cache = Hashtbl.create 64; in_cache = Hashtbl.create 64;
+      fc_hits = 0; fc_misses = 0; fc_inval_full = 0; fc_inval_scoped = 0;
+      fc_seen_rt = 0; fc_seen_nf = 0; fc_seen_ct = 0 }
   in
   (* Each namespace owns its costs record (Kernel_costs.stack_costs builds
      fresh hops per call), so its hops can carry attribution names. *)
@@ -1123,6 +1294,12 @@ let create engine ~name ~costs ?(with_loopback = true) () =
   Metrics.gauge_probe m
     (Printf.sprintf "ns.%s.flow_cache_misses" name)
     (fun () -> float_of_int ns.fc_misses);
+  Metrics.gauge_probe m
+    (Printf.sprintf "fc.invalidate.%s.full" name)
+    (fun () -> float_of_int ns.fc_inval_full);
+  Metrics.gauge_probe m
+    (Printf.sprintf "fc.invalidate.%s.scoped" name)
+    (fun () -> float_of_int ns.fc_inval_scoped);
   ns
 
 (* ------------------------------------------------------------------ *)
@@ -1141,6 +1318,7 @@ module Udp = struct
         u_closed = false }
     in
     Hashtbl.replace ns.udp_binds port s;
+    sock_mutated ns;
     s
 
   let sendto ?prov s ~dst ~dst_port payload =
@@ -1159,8 +1337,65 @@ module Udp = struct
       ~bytes:(Packet.len pkt)
       (fun () -> ip_output ns pkt)
 
+  (* A pinned destination for a socket: memoizes the source-address
+     selection, the syscall/NAT surcharge, and (once warm) the composed
+     egress verdict, all validated against the namespace stamp so a warm
+     send is indistinguishable from [sendto] — same packet bytes, same
+     hop costs, same delivery-time table consultation. *)
+  type flow = {
+    uf_sock : sock;
+    uf_dst : Ipv4.t;
+    uf_dport : int;
+    mutable uf_stamp : int;
+    mutable uf_src : Ipv4.t;
+    mutable uf_extra_ns : int;
+    mutable uf_v : fc_out fc_verdict option;
+  }
+
+  let flow s ~dst ~dst_port =
+    { uf_sock = s; uf_dst = dst; uf_dport = dst_port; uf_stamp = min_int;
+      uf_src = dst; uf_extra_ns = 0; uf_v = None }
+
+  let flow_send ?prov uf payload =
+    let s = uf.uf_sock in
+    let ns = s.u_ns in
+    if not ns.fc_enabled then
+      sendto ?prov s ~dst:uf.uf_dst ~dst_port:uf.uf_dport payload
+    else begin
+      let stamp = fc_stamp ns in
+      if uf.uf_stamp <> stamp then begin
+        (* Same lookups [sendto] performs at send time, revalidated by
+           the stamp that already covers route and netfilter state. *)
+        uf.uf_src <- src_for ns uf.uf_dst;
+        uf.uf_extra_ns <- ns.cs.syscall.Hop.fixed_ns + nat_surcharge ns;
+        uf.uf_stamp <- stamp;
+        uf.uf_v <- None
+      end;
+      let prov = match prov with Some _ as p -> p | None -> fresh_prov ns in
+      let pkt =
+        Packet.make ~traced:ns.trace_all ?prov ~src:uf.uf_src ~dst:uf.uf_dst
+          (Packet.Udp { src_port = s.u_port; dst_port = uf.uf_dport; payload })
+      in
+      Hop.service_prov ?prov:(Packet.prov pkt) ~extra_ns:uf.uf_extra_ns
+        ns.cs.tx ~bytes:(Packet.len pkt)
+        (fun () ->
+          (* Consult at delivery time, exactly like [ip_output]: table
+             state may have moved while the datagram sat in the tx hop. *)
+          match uf.uf_v with
+          | Some v
+            when ns.fc_enabled && v.fc_stamp = fc_stamp ns
+                 && fc_out_live ns pkt v ->
+            fc_out_replay ns pkt v
+          | _ ->
+            ip_output ns pkt;
+            if ns.fc_enabled then
+              uf.uf_v <-
+                Hashtbl.find_opt ns.out_cache (Conntrack.flow_of_packet pkt))
+    end
+
   let close s =
     s.u_closed <- true;
+    sock_mutated s.u_ns;
     Hashtbl.remove s.u_ns.udp_binds s.u_port
 
   let port s = s.u_port
@@ -1174,9 +1409,12 @@ module Tcp = struct
     if Hashtbl.mem ns.listeners port then
       failwith
         (Printf.sprintf "Stack.Tcp.listen: port %d busy in %s" port ns.ns_name);
-    Hashtbl.replace ns.listeners port { l_on_accept = on_accept }
+    Hashtbl.replace ns.listeners port { l_on_accept = on_accept };
+    sock_mutated ns
 
-  let unlisten ns ~port = Hashtbl.remove ns.listeners port
+  let unlisten ns ~port =
+    sock_mutated ns;
+    Hashtbl.remove ns.listeners port
 
   let connect ns ~dst ~port ?src ~on_established ?(on_close = fun () -> ()) () =
     let local_ip =

@@ -59,10 +59,21 @@ let ensure_member t node =
        VTEP against the stale entry would install it as its own remote —
        every reflected self-copy then re-enters the overlay bridge on the
        VTEP port and poisons its MAC learning. *)
-    t.member_list <-
-      List.filter
+    let live, dead =
+      List.partition
         (fun m' -> Nest_virt.Vm.alive (Node.vm m'.m_node))
-        t.member_list;
+        t.member_list
+    in
+    (* Unpeer the dead members from the survivors too: their flood-list
+       and FDB entries (and any composed encap verdicts resolving through
+       them) would otherwise keep pointing at the dead VTEP until the
+       replacement re-announced the address. *)
+    List.iter
+      (fun d ->
+        let dead_ip = vm_primary_ip (Node.vm d.m_node) in
+        List.iter (fun m' -> Vxlan.remove_remote m'.m_vtep dead_ip) live)
+      dead;
+    t.member_list <- live;
     (* Full-mesh peering with surviving members. *)
     let my_ip = vm_primary_ip vm in
     List.iter

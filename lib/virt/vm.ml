@@ -102,7 +102,13 @@ let nic_arrived t dev =
   in
   let ready, waiting = pop [] t.nic_waiters in
   t.nic_waiters <- waiting;
-  match ready with Some k -> k dev | None -> ()
+  match ready with
+  | Some k ->
+    (* The waiter is about to claim [dev]: ownership changes, so any
+       reflector verdicts cached against the old binding must die. *)
+    Dev.bump_binding dev;
+    k dev
+  | None -> ()
 
 let wait_nic t ~mac ?(on_dead = fun () -> ()) ~k () =
   if not t.vm_alive then on_dead ()
@@ -112,7 +118,9 @@ let wait_nic t ~mac ?(on_dead = fun () -> ()) ~k () =
         (fun d -> Mac.equal d.Dev.mac mac && unclaimed d)
         t.nic_list
     with
-    | Some dev -> k dev
+    | Some dev ->
+      Dev.bump_binding dev;
+      k dev
     | None -> t.nic_waiters <- t.nic_waiters @ [ (mac, k, on_dead) ]
 
 let nics t = t.nic_list

@@ -67,6 +67,28 @@ let test_jobs_fanout_deterministic () =
         (List.nth seq i) (List.nth par i))
     cells
 
+(* The composed-verdict fast path must be invisible to chaos outcomes:
+   the same cell run mechanisms-off (flow cache disabled process-wide)
+   must produce byte-identical digests, including through failover
+   (standby claims) and recovery GARP bursts. *)
+let test_cache_on_off_digest_identical () =
+  let cell mode =
+    let run () =
+      Chaos.run_cell ~quick:true ~standby:2 ~mode ~rate:0.4 ~seed:13L ()
+    in
+    let on = Chaos.digest (run ()) in
+    Nest_net.Stack.set_default_flow_cache false;
+    let off =
+      Fun.protect
+        ~finally:(fun () -> Nest_net.Stack.set_default_flow_cache true)
+        (fun () -> Chaos.digest (run ()))
+    in
+    Alcotest.(check string)
+      (Chaos.mode_to_string mode ^ " digest cache-on = cache-off")
+      off on
+  in
+  List.iter cell [ `Overlay; `Hostlo ]
+
 (* ------------------------------------------------------------------ *)
 (* Hostlo recovery invariant: a VM crash mid-pod detaches exactly the
    dead VM's reflector queues; the reflector itself survives, and a
@@ -190,7 +212,9 @@ let () =
           Alcotest.test_case "seed changes timeline" `Quick
             test_seed_changes_timeline;
           Alcotest.test_case "jobs fan-out identical" `Slow
-            test_jobs_fanout_deterministic ] );
+            test_jobs_fanout_deterministic;
+          Alcotest.test_case "cache on/off digests identical" `Slow
+            test_cache_on_off_digest_identical ] );
       ( "recovery",
         [ Alcotest.test_case "hostlo crash leaves no dangling queue" `Quick
             test_hostlo_crash_no_dangling_queue ] );

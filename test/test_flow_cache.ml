@@ -189,6 +189,219 @@ let test_invalidate_on_netfilter_rule () =
   Alcotest.(check int) "drop counted" 1
     (Stack.counters a).Stack.dropped_filtered
 
+let test_invalidate_counters_full_vs_scoped () =
+  let _e, a, _, _, _, _c = warm () in
+  let full0, scoped0 = Stack.flow_cache_invalidations a in
+  Stack.arp_flush ~ip:(ip "192.168.1.2") a;
+  let full1, scoped1 = Stack.flow_cache_invalidations a in
+  Alcotest.(check int) "single-entry expiry is scoped" full0 full1;
+  Alcotest.(check int) "scoped counted" (scoped0 + 1) scoped1;
+  Stack.arp_flush a;
+  let full2, scoped2 = Stack.flow_cache_invalidations a in
+  Alcotest.(check int) "whole-cache flush is full" (full1 + 1) full2;
+  Alcotest.(check int) "scoped unchanged" scoped1 scoped2
+
+(* ------------------------------------------------------------------ *)
+(* Scoped neighbour invalidation: GARP storms must not collapse the
+   cache fleet-wide. *)
+
+let test_garp_storm_same_mac_keeps_cache () =
+  let e, a, b, _, db, c = warm () in
+  let hits0, misses0 = Stack.flow_cache_stats a in
+  let full0, scoped0 = Stack.flow_cache_invalidations a in
+  (* Chaos recovery re-announces addresses aggressively; as long as the
+     MAC is unchanged nothing moved, so nothing may invalidate. *)
+  for _ = 1 to 10 do
+    Stack.garp b db (ip "192.168.1.2")
+  done;
+  Engine.run e;
+  send_one c (ip "192.168.1.2");
+  Engine.run e;
+  let hits1, misses1 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "no re-walk after same-MAC GARP storm" misses0 misses1;
+  Alcotest.(check bool) "still hitting" true (hits1 > hits0);
+  let full1, scoped1 = Stack.flow_cache_invalidations a in
+  Alcotest.(check int) "no full invalidation" full0 full1;
+  Alcotest.(check int) "no scoped invalidation" scoped0 scoped1
+
+let test_mac_move_scoped_invalidate () =
+  let e, a, b, _, db = two_ns () in
+  Stack.add_addr b db (ip "192.168.1.3") (cidr "192.168.1.0/24");
+  let _s = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> ()) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  (* Warm two flows through the same device, distinct neighbours. *)
+  for _ = 1 to 3 do
+    send_one c (ip "192.168.1.2");
+    send_one c (ip "192.168.1.3");
+    Engine.run e
+  done;
+  let _, misses0 = Stack.flow_cache_stats a in
+  let full0, scoped0 = Stack.flow_cache_invalidations a in
+  (* The peer NIC is replaced: same address, new MAC, announced by a
+     burst of gratuitous ARPs. *)
+  db.Dev.mac <- Mac.of_int 0xbb;
+  for _ = 1 to 5 do
+    Stack.garp b db (ip "192.168.1.2")
+  done;
+  Engine.run e;
+  let full1, scoped1 = Stack.flow_cache_invalidations a in
+  Alcotest.(check int) "MAC move never flushes the whole cache" full0 full1;
+  Alcotest.(check int) "one scoped invalidation (burst deduped)"
+    (scoped0 + 1) scoped1;
+  (* The unaffected neighbour's flow keeps hitting — and keeps sending
+     to the stale MAC, exactly as the slow path would (only .2 was
+     announced; .3's ARP entry is genuinely stale until it expires, so
+     this packet is lost at the peer's L2 filter, cache or no cache). *)
+  send_one c (ip "192.168.1.3");
+  Engine.run e;
+  let _, misses1 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "other neighbour unaffected" misses0 misses1;
+  (* ...the moved one re-walks exactly once, then hits at the new MAC. *)
+  send_one c (ip "192.168.1.2");
+  Engine.run e;
+  let _, misses2 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "moved neighbour re-walks once" (misses1 + 1) misses2;
+  send_one c (ip "192.168.1.2");
+  Engine.run e;
+  let _, misses3 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "then warms again" misses2 misses3;
+  (* 6 warm + 2 post-move to .2; the one stale-MAC .3 packet is lost. *)
+  Alcotest.(check int) "deliveries across the move" 8
+    (Stack.counters b).Stack.delivered
+
+(* ------------------------------------------------------------------ *)
+(* Reflector (Hostlo) egress: the local-deliver-vs-reflect decision is
+   cached against socket and binding generations. *)
+
+(* Two pod namespaces multiplexed on one Hostlo loopback tap, wired as
+   the VMM does but without the VM layer: each endpoint shares the tap's
+   MAC and binding-generation ref. *)
+let reflector_world () =
+  let e = Engine.create () in
+  let tap =
+    Tap.create e ~name:"hlo" ~mode:Tap.Loopback ~hop:(Hop.free e)
+      ~mac:(Mac.of_int 0x42) ()
+  in
+  let mk name =
+    let ns =
+      Stack.create e ~name ~costs:(cheap_costs e) ~with_loopback:false ()
+    in
+    let q = Tap.add_queue tap ~owner:name in
+    let dev =
+      Dev.create ~name:(name ^ ":hlo0") ~mac:(Tap.mac tap) ~l2:Dev.Reflector
+        ~binding:(Tap.queue_binding q) ()
+    in
+    Dev.set_tx dev (fun f -> Tap.queue_write q f);
+    Tap.queue_set_backend q (fun f -> Dev.deliver dev f);
+    Stack.attach ns dev;
+    Stack.add_addr ns dev (ip "127.0.0.1") (cidr "127.0.0.0/8");
+    ns
+  in
+  let a = mk "pa" in
+  let b = mk "pb" in
+  (e, tap, a, b)
+
+let test_reflector_hits_accumulate () =
+  let e, _tap, a, b = reflector_world () in
+  let got = ref 0 in
+  let _s = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> incr got) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  (* Reflectors resolve synchronously (broadcast), so the very first
+     walk installs; everything after is a hit. *)
+  send_one c (ip "127.0.0.1");
+  Engine.run e;
+  let _, misses0 = Stack.flow_cache_stats a in
+  for _ = 1 to 5 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  let hits1, misses1 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "reflector egress cached after first walk"
+    misses0 misses1;
+  Alcotest.(check bool) "reflector sends hit" true (hits1 >= 5);
+  Alcotest.(check int) "all delivered across the tap" 6 !got
+
+let test_reflector_socket_transition () =
+  let e, _tap, a, b = reflector_world () in
+  let b_got = ref 0 and a_got = ref 0 in
+  let _sb = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> incr b_got) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  for _ = 1 to 3 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  Alcotest.(check int) "reflected to the peer while a has no server" 3 !b_got;
+  (* A server appears in the sender's own fraction: localhost is local
+     again, warm reflect verdicts notwithstanding. *)
+  let sa = Stack.Udp.bind a ~port:53 (fun _ ~src:_ _ -> incr a_got) in
+  for _ = 1 to 3 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  Alcotest.(check int) "local server captures localhost" 3 !a_got;
+  Alcotest.(check int) "peer no longer sees the flow" 3 !b_got;
+  (* Server closes: back to reflection, again against a warm cache. *)
+  Stack.Udp.close sa;
+  for _ = 1 to 3 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  Alcotest.(check int) "reflection resumes after close" 6 !b_got;
+  Alcotest.(check int) "local server is gone" 3 !a_got
+
+let test_reflector_binding_claim_invalidates () =
+  let e, tap, a, b = reflector_world () in
+  let _sb = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> ()) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  for _ = 1 to 3 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  let _, misses0 = Stack.flow_cache_stats a in
+  (* A standby-pool claim / hot-plug rebind changes which owner the
+     reflector serves (PR 5 failover): verdicts must die with it. *)
+  Tap.bump_binding tap;
+  send_one c (ip "127.0.0.1");
+  Engine.run e;
+  let _, misses1 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "claim forces a re-walk of reflector egress"
+    (misses0 + 1) misses1;
+  send_one c (ip "127.0.0.1");
+  Engine.run e;
+  let _, misses2 = Stack.flow_cache_stats a in
+  Alcotest.(check int) "then warms again" misses1 misses2
+
+let run_reflector_exchange ~cache () =
+  let e, _tap, a, b = reflector_world () in
+  if not cache then begin
+    Stack.set_flow_cache a false;
+    Stack.set_flow_cache b false
+  end;
+  let b_got = ref 0 and a_got = ref 0 in
+  let _sb = Stack.Udp.bind b ~port:53 (fun _ ~src:_ _ -> incr b_got) in
+  let c = Stack.Udp.bind a ~port:0 (fun _ ~src:_ _ -> ()) in
+  for _ = 1 to 4 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  let sa = Stack.Udp.bind a ~port:53 (fun _ ~src:_ _ -> incr a_got) in
+  for _ = 1 to 4 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  Stack.Udp.close sa;
+  for _ = 1 to 4 do
+    send_one c (ip "127.0.0.1")
+  done;
+  Engine.run e;
+  [ !a_got; !b_got; (Stack.counters a).Stack.dropped_no_socket; Engine.now e ]
+
+let test_reflector_on_off_equivalent () =
+  Alcotest.(check (list int))
+    "reflector churn identical with cache on/off"
+    (run_reflector_exchange ~cache:false ())
+    (run_reflector_exchange ~cache:true ())
+
 (* ------------------------------------------------------------------ *)
 (* Equivalence: cache on vs off must be observationally identical. *)
 
@@ -233,7 +446,23 @@ let () =
           Alcotest.test_case "invalidate: arp flush" `Quick
             test_invalidate_on_arp_flush;
           Alcotest.test_case "invalidate: netfilter rule" `Quick
-            test_invalidate_on_netfilter_rule ] );
+            test_invalidate_on_netfilter_rule;
+          Alcotest.test_case "invalidate counters: full vs scoped" `Quick
+            test_invalidate_counters_full_vs_scoped ] );
+      ( "scoped",
+        [ Alcotest.test_case "GARP storm, same MAC" `Quick
+            test_garp_storm_same_mac_keeps_cache;
+          Alcotest.test_case "MAC move is scoped" `Quick
+            test_mac_move_scoped_invalidate ] );
+      ( "reflector",
+        [ Alcotest.test_case "hits accumulate" `Quick
+            test_reflector_hits_accumulate;
+          Alcotest.test_case "socket transition" `Quick
+            test_reflector_socket_transition;
+          Alcotest.test_case "binding claim invalidates" `Quick
+            test_reflector_binding_claim_invalidates;
+          Alcotest.test_case "on/off identical" `Quick
+            test_reflector_on_off_equivalent ] );
       ( "equivalence",
         [ Alcotest.test_case "on/off identical" `Quick
             test_cache_on_off_equivalent ] ) ]
