@@ -49,7 +49,7 @@ let run_cmd ids quick jobs trace metrics obs_json trace_capacity =
 (* Observability-first run: full collection on, any registered experiment
    (or none), a Perfetto-loadable Chrome trace written to --out, and a
    per-hop latency-attribution table comparing the deployment modes. *)
-let obs_cmd ids quick out trace_capacity timeline_period_us prov_sample =
+let obs_cmd ids quick out trace_capacity timeline_period_us prov_sample slo =
   if trace_capacity <= 0 then begin
     Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
       trace_capacity;
@@ -90,7 +90,34 @@ let obs_cmd ids quick out trace_capacity timeline_period_us prov_sample =
     probes;
   Nest_sim.Trace_export.to_file ex out;
   List.iter Nest_experiments.Exp_util.print_attribution probes;
+  Nest_experiments.Exp_util.print_cache_health ();
   Nest_experiments.Exp_util.Obs.discard ();
+  (* Live SLO monitoring demo: one fault-free served cell per deployment
+     mode carrying netperf UDP_RR with the standard chaos objectives
+     (availability, p99 latency, goodput), evaluated window by window on
+     the engine clock.  Deterministic in the seed. *)
+  if slo then begin
+    print_newline ();
+    print_endline
+      "Per-mode SLO compliance (fault-free UDP_RR cell, 500 ms windows):";
+    List.iter
+      (fun mode ->
+        let o =
+          Nest_fault.Chaos.run_cell ~quick:true
+            ~workload:Nest_fault.Chaos.Rr ~mode ~rate:0.0 ~seed:42L ()
+        in
+        Printf.printf "  %s\n" o.Nest_fault.Chaos.o_mode;
+        List.iter
+          (fun c -> Format.printf "    %a@." Nest_sim.Slo.pp_compliance c)
+          o.Nest_fault.Chaos.o_slo;
+        let lat = o.Nest_fault.Chaos.o_slo_lat in
+        if Nest_sim.Hdr.count lat > 0 then
+          Printf.printf "    latency n=%d p50 %.1f us p99 %.1f us\n"
+            (Nest_sim.Hdr.count lat)
+            (Nest_sim.Hdr.percentile lat 50.0)
+            (Nest_sim.Hdr.percentile lat 99.0))
+      Nest_fault.Chaos.all_modes
+  end;
   Printf.printf "\nwrote %d trace events to %s (open in ui.perfetto.dev)\n"
     (Nest_sim.Trace_export.event_count ex)
     out
@@ -216,6 +243,14 @@ let obs_term =
              ~doc:"Experiment ids to run with full collection on (may be \
                    empty: the probes alone still produce a trace).")
   in
+  let slo_flag =
+    Arg.(value & flag
+         & info [ "slo" ]
+             ~doc:"Additionally run one fault-free netperf UDP_RR cell per \
+                   deployment mode under the live SLO monitor and print \
+                   per-mode windowed compliance (availability, p99 latency \
+                   ceiling, goodput floor) plus sketch latency percentiles.")
+  in
   let run =
     let doc =
       "Run experiments with tracing, metrics, CPU timelines and latency \
@@ -225,7 +260,7 @@ let obs_term =
     Cmd.v (Cmd.info "run" ~doc)
       Term.(
         const obs_cmd $ obs_ids $ quick $ out $ trace_capacity
-        $ timeline_period $ prov_sample)
+        $ timeline_period $ prov_sample $ slo_flag)
   in
   let doc = "Observability workflows (Perfetto export, latency attribution)." in
   Cmd.group (Cmd.info "obs" ~doc) [ run ]

@@ -40,6 +40,53 @@ let run ?(rates = default_rates) ?(seed = 42L) ?(workload = Chaos.Probe)
       end;
       Exp_util.row (Format.asprintf "%a" Chaos.pp_outcome o))
     outcomes;
+  (* Windowed SLO compliance per cell, then the fleet view: each mode's
+     per-cell latency sketches merged into one HDR histogram — the
+     cross-cell aggregation path [--jobs] workers rely on. *)
+  Exp_util.row "";
+  Exp_util.row "SLO compliance (500 ms windows; burn > 1 = violation):";
+  List.iter
+    (fun o ->
+      List.iter
+        (fun c ->
+          Exp_util.row
+            (Printf.sprintf "  %-9s rate %.2f  %s" o.Chaos.o_mode
+               o.Chaos.o_rate
+               (Format.asprintf "%a" Nest_sim.Slo.pp_compliance c)))
+        o.Chaos.o_slo)
+    outcomes;
+  let fleet_rows =
+    List.filter_map
+      (fun mode ->
+        let name = Chaos.mode_to_string mode in
+        let mine =
+          List.filter (fun o -> String.equal o.Chaos.o_mode name) outcomes
+        in
+        if mine = [] then None
+        else begin
+          let merged = Nest_sim.Hdr.create ~name:("fleet." ^ name) () in
+          List.iter
+            (fun o ->
+              Nest_sim.Hdr.merge_into ~into:merged o.Chaos.o_slo_lat)
+            mine;
+          if Nest_sim.Hdr.count merged = 0 then None
+          else
+            Some
+              (Printf.sprintf
+                 "  %-9s n=%-6d p50 %7.1f us  p90 %7.1f us  p99 %7.1f us"
+                 name
+                 (Nest_sim.Hdr.count merged)
+                 (Nest_sim.Hdr.percentile merged 50.0)
+                 (Nest_sim.Hdr.percentile merged 90.0)
+                 (Nest_sim.Hdr.percentile merged 99.0))
+        end)
+      Chaos.all_modes
+  in
+  if fleet_rows <> [] then begin
+    Exp_util.row "";
+    Exp_util.row "fleet workload latency per mode (cells merged across rates):";
+    List.iter Exp_util.row fleet_rows
+  end;
   Exp_util.row "";
   Exp_util.kv "recovery"
     "kubelet hot-plug retry w/ exponential backoff; scheduler reschedules \

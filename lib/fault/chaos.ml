@@ -32,6 +32,8 @@ module Pod = Nest_orch.Pod
 module Netperf = Nest_workloads.Netperf
 module Memcached = Nest_workloads.Memcached
 module App = Nest_workloads.App
+module Slo = Nest_sim.Slo
+module Hdr = Nest_sim.Hdr
 
 type mode = [ `Nat | `Brfusion | `Overlay | `Hostlo ]
 
@@ -86,6 +88,8 @@ type outcome = {
   o_retry_wait_ms : float;  (* total wall time sunk into backoff waits *)
   o_leaked_leases : int;    (* IPAM leases no live pod holds (must be 0) *)
   o_invariants : string list; (* Vmm.check_invariants (must be empty) *)
+  o_slo : Slo.compliance list; (* per-objective windowed compliance *)
+  o_slo_lat : Hdr.t;        (* completion-latency sketch (µs), mergeable *)
   o_timeline : (Time.ns * string) list;
 }
 
@@ -115,6 +119,28 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
   let probe_end = probe_start + (trials * spacing) in
   let horizon = probe_end + Time.ms 500 in
   let port = 7000 in
+
+  (* Declarative SLOs on the served cell, evaluated live in 500 ms
+     windows while the workload runs.  The probe only carries an
+     availability objective (its replies are untagged, so no latency
+     sample exists); real workloads add a p99 latency ceiling and a
+     goodput floor.  Violations under fault are expected — the product
+     is the per-(mode, rate) compliance report, not an assertion. *)
+  let slo_specs =
+    match workload with
+    | Probe -> [ Slo.availability ~target:0.9 () ]
+    | Rr ->
+      [ Slo.availability ~target:0.9 ();
+        Slo.latency_p ~p:99.0 ~limit_us:2_000.0 ();
+        Slo.goodput ~floor_per_s:500.0 () ]
+    | Mc ->
+      [ Slo.availability ~target:0.9 ();
+        Slo.latency_p ~p:99.0 ~limit_us:5_000.0 ();
+        Slo.goodput ~floor_per_s:1_000.0 () ]
+  in
+  let slo =
+    Slo.create ~start:probe_start ~stop:probe_end ~specs:slo_specs engine
+  in
 
   (* Mode plumbing: one CNI plugin serves both the storm (via Kube) and
      the probed service (driven directly, to control placement). *)
@@ -198,7 +224,8 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
       probe_sock :=
         Some
           (Stack.Udp.bind ns ~port:0 (fun _ ~src:_ _ ->
-               recv_times := Engine.now engine :: !recv_times))
+               recv_times := Engine.now engine :: !recv_times;
+               Slo.observe_ok slo))
   in
   let service_ready () =
     service_up := Engine.now engine :: !service_up;
@@ -253,7 +280,7 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
         Some
           (Netperf.udp_rr_driver tb ~cl_ns:ns ~cl_exec:(new_exec "rr-client")
              ~target:(fun () -> !target)
-             ~msg_size:64 ~start:probe_start ~stop:probe_end ())
+             ~msg_size:64 ~slo ~start:probe_start ~stop:probe_end ())
     | Mc ->
       mc_driver :=
         Some
@@ -261,7 +288,7 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
              ~target:(fun () -> !target)
              ~threads:2
              ~conns:(if quick then 2 else 4)
-             ~start:probe_start ~stop:probe_end ())
+             ~slo ~start:probe_start ~stop:probe_end ())
   in
   (match mode with
   | `Nat | `Brfusion ->
@@ -295,6 +322,7 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
       (* Every tick counts as an offered probe: a service whose setup is
          still being retried is just as unavailable as a crashed one. *)
       incr sent;
+      Slo.observe_sent slo;
       (match (!probe_sock, !target) with
       | Some sock, Some (ip, p) ->
         Stack.Udp.sendto sock ~dst:ip ~dst_port:p (Payload.raw 64)
@@ -519,6 +547,8 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
     o_retry_wait_ms = retry_wait_ms;
     o_leaked_leases = leaked;
     o_invariants = invariants;
+    o_slo = Slo.report slo;
+    o_slo_lat = Slo.latency slo;
     o_timeline = Injector.timeline inj;
   }
 
@@ -546,6 +576,19 @@ let render o =
   List.iter
     (fun inv -> Buffer.add_string b (Printf.sprintf "inv %s\n" inv))
     o.o_invariants;
+  (* SLO compliance and the latency sketch are part of the digest: the
+     determinism guard must also cover the windowed evaluation and the
+     HDR merge inputs. *)
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "slo %s w=%d v=%d worst=%.4f\n" c.Slo.c_name
+           c.Slo.c_windows c.Slo.c_violations c.Slo.c_worst_burn))
+    o.o_slo;
+  Buffer.add_string b
+    (Printf.sprintf "slo_lat n=%d p50=%.3f p99=%.3f\n" (Hdr.count o.o_slo_lat)
+       (Hdr.percentile o.o_slo_lat 50.0)
+       (Hdr.percentile o.o_slo_lat 99.0));
   List.iter
     (fun r -> Buffer.add_string b (Printf.sprintf "rec %.6f\n" r))
     o.o_recovered;
@@ -575,6 +618,11 @@ let pp_outcome fmt o =
        us"
       o.o_goodput o.o_lat_p50_us o.o_lat_p99_us o.o_post_p50_us
       o.o_post_p99_us;
+  (match o.o_slo with
+  | [] -> ()
+  | slos ->
+    let ok = List.length (List.filter Slo.compliant slos) in
+    Format.fprintf fmt " | slo %d/%d ok" ok (List.length slos));
   if o.o_leaked_leases <> 0 || o.o_invariants <> [] then
     Format.fprintf fmt " | INVARIANT VIOLATIONS: %d leaked, %d broken"
       o.o_leaked_leases

@@ -68,6 +68,14 @@ type outcome = {
   o_leaked_leases : int;    (** IPAM leases no live pod holds (must be 0) *)
   o_invariants : string list;
       (** {!Nest_virt.Vmm.check_invariants} at quiescence (must be []) *)
+  o_slo : Nest_sim.Slo.compliance list;
+      (** Windowed SLO compliance of the served cell: availability for
+          probe cells, plus a p99 latency ceiling and a goodput floor
+          for real workloads.  Covered by {!render}/{!digest}. *)
+  o_slo_lat : Nest_sim.Hdr.t;
+      (** Run-wide completion-latency sketch (µs) from the SLO monitor;
+          merge across cells ({!Nest_sim.Hdr.merge_into}) for fleet
+          percentiles. *)
   o_timeline : (Nest_sim.Time.ns * string) list;
 }
 

@@ -14,7 +14,7 @@ type t = {
   per_byte_ns : float;
   charge_as : Nest_sim.Cpu_account.category option;
   mutable hop_name : string;  (* "" = anonymous: falls back to exec name *)
-  mutable hists : (Nest_sim.Stats.t * Nest_sim.Stats.t) option;
+  mutable hists : (Nest_sim.Hdr.t * Nest_sim.Hdr.t) option;
       (* lazily resolved (queue_ns, service_ns) histograms *)
 }
 
@@ -69,8 +69,8 @@ let service_prov ?prov ?enq ?(extra_ns = 0) ?(tail_ns = 0) t ~bytes k =
     let end_ns = finish + tail_ns in
     Nest_sim.Provenance.add p ~hop:(name t) ~enqueue_ns ~start_ns ~end_ns;
     let qh, sh = hists t in
-    Nest_sim.Stats.add qh (float_of_int (start_ns - enqueue_ns));
-    Nest_sim.Stats.add sh (float_of_int (end_ns - start_ns))
+    Nest_sim.Hdr.add qh (float_of_int (start_ns - enqueue_ns));
+    Nest_sim.Hdr.add sh (float_of_int (end_ns - start_ns))
 
 let free engine =
   make (Nest_sim.Exec.create engine ~name:"free-hop") ~fixed_ns:0

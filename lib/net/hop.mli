@@ -19,7 +19,7 @@ type t = {
       (** Overrides the context's default accounting category. *)
   mutable hop_name : string;
       (** [""] = anonymous: attribution falls back to the exec name. *)
-  mutable hists : (Nest_sim.Stats.t * Nest_sim.Stats.t) option;
+  mutable hists : (Nest_sim.Hdr.t * Nest_sim.Hdr.t) option;
       (** Lazily resolved (queue_ns, service_ns) histograms. *)
 }
 

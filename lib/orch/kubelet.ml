@@ -74,10 +74,10 @@ let hotplug_with_retry t ?(policy = Backoff.default)
          report can read retry-storm intensity straight off the metrics
          ([fault.retry_attempt] vmax = deepest backoff reached,
          [fault.retry_delay_ms] total = wall time sunk into waiting). *)
-      Nest_sim.Stats.add
+      Nest_sim.Hdr.add
         (Nest_sim.Metrics.histogram metrics "fault.retry_attempt")
         (float_of_int attempt);
-      Nest_sim.Stats.add
+      Nest_sim.Hdr.add
         (Nest_sim.Metrics.histogram metrics "fault.retry_delay_ms")
         (float_of_int delay_ns /. 1e6);
       Nest_sim.Engine.trace_instant engine ~cat:"fault" ~name:"hotplug_retry"

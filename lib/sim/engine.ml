@@ -1,4 +1,8 @@
-type job = { label : string; fn : unit -> unit }
+(* [lbl]/[lbl_epoch]: an optional pre-interned trace-name id for [label],
+   valid only while [trace_epoch] still equals [lbl_epoch] (the tracer has
+   not been swapped since the id was minted).  Lets the per-event hot path
+   skip the intern-pool hash lookup. *)
+type job = { label : string; lbl : int; lbl_epoch : int; fn : unit -> unit }
 
 type prof_slot = { mutable calls : int; mutable wall : float }
 
@@ -9,6 +13,8 @@ type t = {
   mutable executed : int;
   metrics : Metrics.t;
   mutable tracer : Trace.t option;
+  mutable engine_cat : int;  (* interned "engine" cat of the current tracer *)
+  mutable trace_epoch : int;  (* bumped by [set_tracer]; guards cached ids *)
   mutable prof : (string, prof_slot) Hashtbl.t option;
   mutable prof_clock : unit -> float;
 }
@@ -22,6 +28,8 @@ let create ?(seed = 0x5EEDL) () =
       executed = 0;
       metrics = Metrics.create ();
       tracer = None;
+      engine_cat = 0;
+      trace_epoch = 0;
       prof = None;
       prof_clock = Sys.time;
     }
@@ -36,8 +44,19 @@ let now t = t.clock
 let rng t = t.root_rng
 let metrics t = t.metrics
 
-let set_tracer t tr = t.tracer <- tr
+let set_tracer t tr =
+  t.tracer <- tr;
+  t.trace_epoch <- t.trace_epoch + 1;
+  match tr with
+  | Some trace -> t.engine_cat <- Trace.intern_cat trace "engine"
+  | None -> ()
 let tracer t = t.tracer
+let trace_epoch t = t.trace_epoch
+
+let intern_label t label =
+  match t.tracer with
+  | Some tr when label <> "" -> Trace.intern_name tr label
+  | Some _ | None -> -1
 
 let trace_instant t ~cat ~name ?arg () =
   match t.tracer with
@@ -57,7 +76,14 @@ let profile t =
 
 let schedule_at t ?(label = "") ~at fn =
   let at = max at t.clock in
-  Wheel.push t.queue ~prio:at { label; fn }
+  Wheel.push t.queue ~prio:at { label; lbl = -1; lbl_epoch = 0; fn }
+
+(* Hot-caller variant (see {!Exec.submit_timed}): the label's trace-name
+   id was interned once by the caller and rides along, so tracing this
+   event costs two ring writes and no hashing. *)
+let schedule_at_interned t ~label ~lbl ~at fn =
+  let at = max at t.clock in
+  Wheel.push t.queue ~prio:at { label; lbl; lbl_epoch = t.trace_epoch; fn }
 
 let schedule t ?label ~delay fn =
   schedule_at t ?label ~at:(t.clock + max 0 delay) fn
@@ -68,9 +94,15 @@ let schedule t ?label ~delay fn =
 let exec t job at =
   match t.tracer with
   | Some tr when job.label <> "" ->
-    Trace.span_begin tr ~ts:at ~cat:"engine" ~name:job.label ();
+    let name =
+      if job.lbl >= 0 && job.lbl_epoch = t.trace_epoch then job.lbl
+      else Trace.intern_name tr job.label
+    in
+    Trace.record_i tr ~shard:0 ~prio:0 ~ts:at Trace.Span_begin
+      ~cat:t.engine_cat ~name ~arg:"";
     job.fn ();
-    Trace.span_end tr ~ts:t.clock ~cat:"engine" ~name:job.label ()
+    Trace.record_i tr ~shard:0 ~prio:0 ~ts:t.clock Trace.Span_end
+      ~cat:t.engine_cat ~name ~arg:""
   | Some _ | None -> job.fn ()
 
 let exec_profiled t tbl job at =

@@ -33,6 +33,22 @@ val schedule : t -> ?label:string -> delay:Time.ns -> (unit -> unit) -> unit
 val schedule_at : t -> ?label:string -> at:Time.ns -> (unit -> unit) -> unit
 (** Absolute-date variant; dates in the past fire immediately (at [now]). *)
 
+val schedule_at_interned :
+  t -> label:string -> lbl:int -> at:Time.ns -> (unit -> unit) -> unit
+(** {!schedule_at} for per-event hot callers ({!Exec}): [lbl] is the
+    label's trace-name id from {!intern_label}, minted under the current
+    {!trace_epoch}.  Tracing the event then skips the intern-pool hash
+    lookup; a stale or absent id ([-1], or the tracer was swapped before
+    the event fired) silently falls back to interning [label]. *)
+
+val trace_epoch : t -> int
+(** Bumped on every {!set_tracer}; cache interned label ids keyed on
+    this to know when they went stale. *)
+
+val intern_label : t -> string -> int
+(** The trace-name id of [label] in the installed tracer, or [-1] when
+    no tracer is installed or [label] is [""]. *)
+
 val run : ?until:Time.ns -> t -> unit
 (** Pops events until the queue drains, or until the clock would pass
     [until] (events strictly after [until] remain queued; the clock is left

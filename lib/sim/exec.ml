@@ -6,12 +6,17 @@ type t = {
   slots : Time.ns array;
   cpus : Cpu_set.t option;
   mutable busy_ns : Time.ns;
+  (* Cached trace-name id for [exec_name], valid while the engine's
+     trace epoch matches — every submission is labeled with the exec
+     name, so interning it per event would dominate tracing cost. *)
+  mutable lbl : int;
+  mutable lbl_epoch : int;
 }
 
 let create ?account ?(also = []) ?(width = 1) ?cpus engine ~name =
   if width <= 0 then invalid_arg "Exec.create: width must be > 0";
   { exec_name = name; engine; account; also; slots = Array.make width 0;
-    cpus; busy_ns = 0 }
+    cpus; busy_ns = 0; lbl = -1; lbl_epoch = -1 }
 
 let name t = t.exec_name
 let width t = Array.length t.slots
@@ -50,7 +55,13 @@ let submit_timed ?charge_as t ~cost k =
   List.iter
     (fun (acct, entity, cat) -> Cpu_account.charge acct ~entity cat cost)
     t.also;
-  Engine.schedule_at t.engine ~label:t.exec_name ~at:finish k;
+  let ep = Engine.trace_epoch t.engine in
+  if t.lbl_epoch <> ep then begin
+    t.lbl <- Engine.intern_label t.engine t.exec_name;
+    t.lbl_epoch <- ep
+  end;
+  Engine.schedule_at_interned t.engine ~label:t.exec_name ~lbl:t.lbl ~at:finish
+    k;
   finish
 
 let submit ?charge_as t ~cost k =

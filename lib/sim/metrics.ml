@@ -4,7 +4,7 @@ type metric =
   | M_counter of counter
   | M_gauge of float ref
   | M_probe of (unit -> float)
-  | M_hist of Stats.t
+  | M_hist of Hdr.t
 
 type t = { tbl : (string, metric) Hashtbl.t }
 
@@ -44,12 +44,12 @@ let gauge_probe t name f =
 
 let histogram t name =
   match Hashtbl.find_opt t.tbl name with
-  | Some (M_hist s) -> s
+  | Some (M_hist h) -> h
   | Some m -> wrong_flavour name ~want:"histogram" m
   | None ->
-    let s = Stats.create ~name () in
-    Hashtbl.add t.tbl name (M_hist s);
-    s
+    let h = Hdr.create ~name () in
+    Hashtbl.add t.tbl name (M_hist h);
+    h
 
 type value =
   | Counter of int
@@ -59,7 +59,9 @@ type value =
       total : float;
       mean : float;
       p50 : float;
+      p90 : float;
       p99 : float;
+      p999 : float;
       vmin : float;
       vmax : float;
     }
@@ -68,22 +70,24 @@ let value_of = function
   | M_counter c -> Counter !c
   | M_gauge g -> Gauge !g
   | M_probe f -> Gauge (f ())
-  | M_hist s ->
-    let n = Stats.count s in
+  | M_hist h ->
+    let n = Hdr.count h in
     if n = 0 then
       Summary
-        { count = 0; total = 0.0; mean = 0.0; p50 = 0.0; p99 = 0.0;
-          vmin = 0.0; vmax = 0.0 }
+        { count = 0; total = 0.0; mean = 0.0; p50 = 0.0; p90 = 0.0;
+          p99 = 0.0; p999 = 0.0; vmin = 0.0; vmax = 0.0 }
     else
       Summary
         {
           count = n;
-          total = Stats.total s;
-          mean = Stats.mean s;
-          p50 = Stats.percentile s 50.0;
-          p99 = Stats.percentile s 99.0;
-          vmin = Stats.min s;
-          vmax = Stats.max s;
+          total = Hdr.total h;
+          mean = Hdr.mean h;
+          p50 = Hdr.percentile h 50.0;
+          p90 = Hdr.percentile h 90.0;
+          p99 = Hdr.percentile h 99.0;
+          p999 = Hdr.percentile h 99.9;
+          vmin = Hdr.min h;
+          vmax = Hdr.max h;
         }
 
 let snapshot t =
@@ -99,7 +103,7 @@ let reset t =
       | M_counter c -> c := 0
       | M_gauge g -> g := 0.0
       | M_probe _ -> ()
-      | M_hist s -> Stats.clear s)
+      | M_hist h -> Hdr.clear h)
     t.tbl
 
 let size t = Hashtbl.length t.tbl
@@ -108,8 +112,9 @@ let pp_value fmt = function
   | Counter n -> Format.fprintf fmt "%d" n
   | Gauge v -> Format.fprintf fmt "%g" v
   | Summary s ->
-    Format.fprintf fmt "n=%d mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f"
-      s.count s.mean s.p50 s.p99 s.vmin s.vmax
+    Format.fprintf fmt
+      "n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f min=%.3f max=%.3f"
+      s.count s.mean s.p50 s.p90 s.p99 s.p999 s.vmin s.vmax
 
 let pp_text fmt t =
   List.iter
@@ -143,10 +148,11 @@ let to_json t =
         Buffer.add_string b
           (Printf.sprintf
              "{\"name\":\"%s\",\"type\":\"histogram\",\"count\":%d,\"total\":%s,\
-              \"mean\":%s,\"p50\":%s,\"p99\":%s,\"min\":%s,\"max\":%s}"
+              \"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"p999\":%s,\
+              \"min\":%s,\"max\":%s}"
              name s.count (json_float s.total) (json_float s.mean)
-             (json_float s.p50) (json_float s.p99) (json_float s.vmin)
-             (json_float s.vmax))))
+             (json_float s.p50) (json_float s.p90) (json_float s.p99)
+             (json_float s.p999) (json_float s.vmin) (json_float s.vmax))))
     (snapshot t);
   Buffer.add_char b ']';
   Buffer.contents b

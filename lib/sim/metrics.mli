@@ -13,7 +13,10 @@
       ({!gauge_probe}) read lazily at snapshot time — probes are how
       existing mutable counters (e.g. a namespace's datapath counters) are
       exported without double accounting;
-    - histograms: full {!Stats.t} accumulators. *)
+    - histograms: bounded-error streaming {!Hdr.t} sketches — O(1) adds
+      with no per-sample retention, exact count/total/min/max, and
+      percentiles within the sketch's error bound (1 %), mergeable
+      across shards and [--jobs] cells. *)
 
 type t
 
@@ -35,20 +38,22 @@ val gauge_probe : t -> string -> (unit -> float) -> unit
 (** Registers (or replaces) a gauge whose value is read by calling the
     probe at snapshot time. *)
 
-val histogram : t -> string -> Stats.t
-(** Get-or-create a sample accumulator registered under [name]. *)
+val histogram : t -> string -> Hdr.t
+(** Get-or-create a streaming histogram registered under [name]. *)
 
 type value =
   | Counter of int
   | Gauge of float
   | Summary of {
       count : int;
-      total : float;
-      mean : float;
+      total : float;  (** Exact. *)
+      mean : float;   (** Exact. *)
       p50 : float;
+      p90 : float;
       p99 : float;
-      vmin : float;
-      vmax : float;
+      p999 : float;   (** p50/p90/p99/p99.9 within the sketch error. *)
+      vmin : float;   (** Exact. *)
+      vmax : float;   (** Exact. *)
     }  (** Histogram digest; all floats 0 when [count = 0]. *)
 
 val snapshot : t -> (string * value) list

@@ -3,7 +3,14 @@
     A [t] keeps every sample (float) so that exact percentiles and CDFs can
     be produced, plus running moments for O(1) mean/stddev queries.  Sample
     volumes in this project are bounded (at most a few hundred thousand per
-    run), so retention is cheap and avoids quantile-sketch error. *)
+    run), so retention is cheap and avoids quantile-sketch error.
+
+    This exactness is load-bearing: figure results (fig4/5/11 latency
+    tables) are byte-compared across commits, so their percentiles must
+    not move by a bucket width.  Where a digest only needs to be
+    *mergeable* — per-hop metrics, SLO windows, fleet-wide aggregation
+    across [--jobs] cells — use {!Hdr} instead (or {!to_hdr} to bridge
+    an exact accumulator into that world). *)
 
 type t
 
@@ -43,6 +50,11 @@ val samples : t -> float array
 
 val merge : t -> t -> t
 (** New accumulator holding both sample sets. *)
+
+val to_hdr : ?error:float -> t -> Hdr.t
+(** Folds the retained samples into a fresh mergeable sketch (error
+    bound as {!Hdr.create}).  The bridge from exact per-cell results to
+    fleet-wide percentile aggregation. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line [name: n=… mean=… sd=… p50=… p99=…] rendering. *)

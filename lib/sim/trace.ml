@@ -1,3 +1,23 @@
+(* Sharded fixed-layout event-tracing rings.
+
+   Each shard is a preallocated binary ring: two native ints per slot in
+   a Bigarray (timestamp + a packed kind/prio/cat/name word) plus a
+   parallel string slot for the free-form arg.  Recording writes those
+   three slots and bumps a counter — no event record, no boxing, no
+   growth; category and subject strings are interned once into bounded
+   per-trace pools and referenced by id thereafter.
+
+   Readers see one merged stream: a k-way merge over the shards keyed by
+   (ts, prio, shard, seq), so the view is deterministic regardless of
+   how writers were laid out — the contract the future sharded engine
+   needs, and already what lets [--jobs] cells compare traces.
+
+   Packed word layout (62 usable bits):
+     bits 0-1   kind        (begin / end / instant)
+     bits 2-17  prio        (clamped to 16 bits)
+     bits 18-29 cat id      (≤ 4096 distinct categories)
+     bits 30-45 name id     (≤ 65536 distinct subjects) *)
+
 type kind = Span_begin | Span_end | Instant
 
 type event = {
@@ -6,53 +26,242 @@ type event = {
   cat : string;
   name : string;
   arg : string;
+  prio : int;
+  shard : int;
+  seq : int;
 }
 
-let dummy = { ts = 0; kind = Instant; cat = ""; name = ""; arg = "" }
-
-type t = {
-  buf : event array;
-  mutable total : int;  (* events ever recorded; next write at total mod cap *)
+(* Bounded intern pool: id -> string and back.  Categories and names are
+   pooled separately because they pack into different bit widths. *)
+type pool = {
+  ids : (string, int) Hashtbl.t;
+  mutable strs : string array;
+  mutable nstrs : int;
+  limit : int;
+  (* One-entry memo on the last string interned, compared physically:
+     per-packet call sites pass literal strings whose pointers are
+     stable, so repeat interns skip the hash lookup entirely. *)
+  mutable last_s : string;
+  mutable last_id : int;
 }
 
-let create ?(capacity = 8192) () =
+let pool_create limit =
+  {
+    ids = Hashtbl.create 64;
+    strs = Array.make 16 "";
+    nstrs = 0;
+    limit;
+    (* A fresh string no caller can be physically equal to. *)
+    last_s = String.make 1 '\000';
+    last_id = -1;
+  }
+
+let pool_intern_slow p s =
+  (* [find], not [find_opt]: the hit path must not allocate a [Some]. *)
+  let id =
+    try Hashtbl.find p.ids s
+    with Not_found ->
+      let id = p.nstrs in
+      if id >= p.limit then
+        invalid_arg "Trace: intern pool exhausted (too many distinct names)";
+      if id = Array.length p.strs then begin
+        let ns = Array.make (2 * Array.length p.strs) "" in
+        Array.blit p.strs 0 ns 0 id;
+        p.strs <- ns
+      end;
+      p.strs.(id) <- s;
+      p.nstrs <- id + 1;
+      Hashtbl.add p.ids s id;
+      id
+  in
+  p.last_s <- s;
+  p.last_id <- id;
+  id
+
+let[@inline] pool_intern p s =
+  if s == p.last_s then p.last_id else pool_intern_slow p s
+
+type ring = {
+  words : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  args : string array;
+  scap : int;   (* always a power of two *)
+  mask : int;   (* scap - 1: slot = stotal land mask *)
+  mutable stotal : int;  (* events ever recorded; next write at stotal land mask *)
+}
+
+type t = { rings : ring array; cats : pool; names : pool }
+
+let max_shards = 256
+
+(* Capacities are rounded up to a power of two so the ring index is a
+   mask, not a division — [record_i] runs on every simulated event. *)
+let pow2_ceil n =
+  let c = ref 1 in
+  while !c < n do
+    c := !c lsl 1
+  done;
+  !c
+
+let create ?(capacity = 8192) ?(shards = 1) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
-  { buf = Array.make capacity dummy; total = 0 }
+  if shards <= 0 || shards > max_shards then
+    invalid_arg "Trace.create: shards must be in 1..256";
+  let capacity = pow2_ceil capacity in
+  let mk _ =
+    let words =
+      Bigarray.Array1.create Bigarray.int Bigarray.c_layout (2 * capacity)
+    in
+    Bigarray.Array1.fill words 0;
+    {
+      words;
+      args = Array.make capacity "";
+      scap = capacity;
+      mask = capacity - 1;
+      stotal = 0;
+    }
+  in
+  {
+    rings = Array.init shards mk;
+    cats = pool_create 4096;
+    names = pool_create 65536;
+  }
 
-let capacity t = Array.length t.buf
-let recorded t = t.total
-let dropped t = max 0 (t.total - Array.length t.buf)
+let shards t = Array.length t.rings
+let shard_capacity t = t.rings.(0).scap
+let capacity t = t.rings.(0).scap * Array.length t.rings
 
-let record t ~ts kind ~cat ~name ?(arg = "") () =
-  t.buf.(t.total mod Array.length t.buf) <- { ts; kind; cat; name; arg };
-  t.total <- t.total + 1
+let recorded t = Array.fold_left (fun a r -> a + r.stotal) 0 t.rings
 
-let instant t ~ts ~cat ~name ?arg () = record t ~ts Instant ~cat ~name ?arg ()
-let span_begin t ~ts ~cat ~name ?arg () = record t ~ts Span_begin ~cat ~name ?arg ()
-let span_end t ~ts ~cat ~name ?arg () = record t ~ts Span_end ~cat ~name ?arg ()
+let dropped t =
+  Array.fold_left (fun a r -> a + Stdlib.max 0 (r.stotal - r.scap)) 0 t.rings
 
-let retained t = min t.total (Array.length t.buf)
+let intern_cat t s = pool_intern t.cats s
+let intern_name t s = pool_intern t.names s
 
-(* Visit retained events oldest-first without materialising a list —
-   dumping an 8192-event ring should not allocate an intermediate
-   structure per event. *)
-let iter t f =
-  let cap = Array.length t.buf in
-  let n = retained t in
-  let first = t.total - n in
-  for i = 0 to n - 1 do
-    f t.buf.((first + i) mod cap)
-  done
+let[@inline] kind_code = function Span_begin -> 0 | Span_end -> 1 | Instant -> 2
+let kind_of_code = [| Span_begin; Span_end; Instant |]
 
-let events t =
-  let cap = Array.length t.buf in
-  let n = retained t in
-  let first = t.total - n in
-  List.init n (fun i -> t.buf.((first + i) mod cap))
+(* The zero-allocation hot entry: ids pre-interned, nothing optional. *)
+let record_i t ~shard ~prio ~ts kind ~cat ~name ~arg =
+  let nr = Array.length t.rings in
+  let r = Array.unsafe_get t.rings (if shard < nr then shard else shard mod nr) in
+  let slot = r.stotal land r.mask in
+  let prio = if prio < 0 then 0 else if prio > 0xFFFF then 0xFFFF else prio in
+  let w = kind_code kind lor (prio lsl 2) lor (cat lsl 18) lor (name lsl 30) in
+  Bigarray.Array1.unsafe_set r.words (2 * slot) ts;
+  Bigarray.Array1.unsafe_set r.words ((2 * slot) + 1) w;
+  (* Most events carry no arg; skipping the redundant "" -> "" store
+     skips its write barrier too. *)
+  if not (arg == Array.unsafe_get r.args slot) then
+    Array.unsafe_set r.args slot arg;
+  r.stotal <- r.stotal + 1
+
+let record t ?(shard = 0) ?(prio = 0) ~ts kind ~cat ~name ?(arg = "") () =
+  record_i t ~shard ~prio ~ts kind ~cat:(pool_intern t.cats cat)
+    ~name:(pool_intern t.names name) ~arg
+
+let instant t ?shard ?prio ~ts ~cat ~name ?arg () =
+  record t ?shard ?prio ~ts Instant ~cat ~name ?arg ()
+
+let span_begin t ?shard ?prio ~ts ~cat ~name ?arg () =
+  record t ?shard ?prio ~ts Span_begin ~cat ~name ?arg ()
+
+let span_end t ?shard ?prio ~ts ~cat ~name ?arg () =
+  record t ?shard ?prio ~ts Span_end ~cat ~name ?arg ()
 
 let clear t =
-  Array.fill t.buf 0 (Array.length t.buf) dummy;
-  t.total <- 0
+  Array.iter
+    (fun r ->
+      Array.fill r.args 0 r.scap "";
+      r.stotal <- 0)
+    t.rings
+
+(* --- merged read view --- *)
+
+(* One cursor per (trace, shard); [tkey] breaks ties between traces when
+   several are merged ([iter_merged]), 0 for a single trace. *)
+type cursor = {
+  src : t;
+  ring : ring;
+  tkey : int;
+  skey : int;
+  mutable pos : int;  (* absolute seq of the next unread event *)
+  pend : int;         (* absolute seq one past the last event *)
+}
+
+let cursor_ts c = Bigarray.Array1.unsafe_get c.ring.words (2 * (c.pos land c.ring.mask))
+
+let cursor_prio c =
+  let w = Bigarray.Array1.unsafe_get c.ring.words ((2 * (c.pos land c.ring.mask)) + 1) in
+  (w lsr 2) land 0xFFFF
+
+(* Strict (ts, prio, trace, shard, seq) order: [a] before [b]? *)
+let cursor_lt a b =
+  let ta = cursor_ts a and tb = cursor_ts b in
+  if ta <> tb then ta < tb
+  else begin
+    let pa = cursor_prio a and pb = cursor_prio b in
+    if pa <> pb then pa < pb
+    else if a.tkey <> b.tkey then a.tkey < b.tkey
+    else if a.skey <> b.skey then a.skey < b.skey
+    else a.pos < b.pos
+  end
+
+let cursor_event c =
+  let slot = c.pos land c.ring.mask in
+  let ts = Bigarray.Array1.unsafe_get c.ring.words (2 * slot) in
+  let w = Bigarray.Array1.unsafe_get c.ring.words ((2 * slot) + 1) in
+  {
+    ts;
+    kind = kind_of_code.(w land 0x3);
+    prio = (w lsr 2) land 0xFFFF;
+    cat = c.src.cats.strs.((w lsr 18) land 0xFFF);
+    name = c.src.names.strs.((w lsr 30) land 0xFFFF);
+    arg = c.ring.args.(slot);
+    shard = c.skey;
+    seq = c.pos;
+  }
+
+let iter_cursors cursors f =
+  let live = Array.of_list (List.filter (fun c -> c.pos < c.pend) cursors) in
+  let nlive = ref (Array.length live) in
+  while !nlive > 0 do
+    (* k is tiny (shards × traces), so a linear scan beats a heap. *)
+    let best = ref 0 in
+    for i = 1 to !nlive - 1 do
+      if cursor_lt live.(i) live.(!best) then best := i
+    done;
+    let c = live.(!best) in
+    f (cursor_event c);
+    c.pos <- c.pos + 1;
+    if c.pos >= c.pend then begin
+      live.(!best) <- live.(!nlive - 1);
+      decr nlive
+    end
+  done
+
+let cursors_of ?(tkey = 0) t =
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         let n = Stdlib.min r.stotal r.scap in
+         { src = t; ring = r; tkey; skey = i; pos = r.stotal - n; pend = r.stotal })
+       t.rings)
+
+let iter t f = iter_cursors (cursors_of t) f
+
+let iter_merged ts f =
+  iter_cursors (List.concat (List.mapi (fun i t -> cursors_of ~tkey:i t) ts)) f
+
+let events t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let merged_events ts =
+  let acc = ref [] in
+  iter_merged ts (fun e -> acc := e :: !acc);
+  List.rev !acc
 
 let by_name t =
   let counts = Hashtbl.create 32 in
@@ -73,12 +282,15 @@ let pp_event fmt e =
     e.cat e.name
     (if e.arg = "" then "" else " " ^ e.arg)
 
+let retained t =
+  Array.fold_left (fun a r -> a + Stdlib.min r.stotal r.scap) 0 t.rings
+
 let pp_text ?limit fmt t =
   let n = retained t in
   let limit = Option.value limit ~default:n in
-  let skipped = max 0 (n - limit) in
+  let skipped = Stdlib.max 0 (n - limit) in
   Format.fprintf fmt "trace: %d recorded, %d in ring, %d dropped@."
-    t.total n (dropped t);
+    (recorded t) n (dropped t);
   if skipped > 0 then Format.fprintf fmt "  … %d earlier events elided@." skipped;
   let i = ref 0 in
   iter t (fun e ->
@@ -105,14 +317,16 @@ let json_escape s =
 let to_json t =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    (Printf.sprintf "{\"capacity\":%d,\"recorded\":%d,\"dropped\":%d,\"events\":["
-       (capacity t) t.total (dropped t));
+    (Printf.sprintf
+       "{\"capacity\":%d,\"shards\":%d,\"recorded\":%d,\"dropped\":%d,\"events\":["
+       (capacity t) (shards t) (recorded t) (dropped t));
   let i = ref 0 in
   iter t (fun e ->
       if !i > 0 then Buffer.add_char b ',';
       incr i;
       Buffer.add_string b
-        (Printf.sprintf "{\"ts\":%d,\"kind\":\"%s\",\"cat\":\"%s\",\"name\":\"%s\",\"arg\":\"%s\"}"
+        (Printf.sprintf
+           "{\"ts\":%d,\"kind\":\"%s\",\"cat\":\"%s\",\"name\":\"%s\",\"arg\":\"%s\"}"
            e.ts (kind_string e.kind) (json_escape e.cat) (json_escape e.name)
            (json_escape e.arg)));
   Buffer.add_string b "]}";

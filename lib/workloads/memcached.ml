@@ -149,12 +149,22 @@ type mc_driver = {
 
 let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
     ?(value_size = 100) ?(op_timeout = Time.ms 60)
-    ?(connect_timeout = Time.ms 500) ~start ~stop () =
+    ?(connect_timeout = Time.ms 500) ?slo ~start ~stop () =
   let engine = tb.Testbed.engine in
   let rng = Nest_sim.Prng.split (Engine.rng engine) in
   let client_pool = App.Pool.create cl_new_exec ~n:threads ~name:"memtier-f" in
   let sent = ref 0 and dropped = ref 0 in
   let completions = ref [] in
+  let slo_sent () =
+    match slo with Some s -> Nest_sim.Slo.observe_sent s | None -> ()
+  in
+  let slo_done us =
+    match slo with
+    | Some s ->
+      Nest_sim.Slo.observe_ok s;
+      Nest_sim.Slo.observe_latency s us
+    | None -> ()
+  in
   let suspended = ref 0 in
   let next_id = ref 0 in
   (* Bumped by every [mcd_resume].  A connection remembers the epoch it
@@ -194,6 +204,7 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
               | Set -> set_request_bytes value_size
             in
             incr sent;
+            slo_sent ();
             awaiting := id;
             App.Pool.submit client_pool ~cost:client_cost_ns (fun () ->
                 if (not !gone) && not (Stack.Tcp.is_closed conn) then
@@ -228,10 +239,9 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
                         when (not !gone) && !awaiting = id ->
                         awaiting := 0;
                         strikes := 0;
-                        completions :=
-                          ( Engine.now engine,
-                            Time.to_us_f (Engine.now engine - t0) )
-                          :: !completions;
+                        let us = Time.to_us_f (Engine.now engine - t0) in
+                        completions := (Engine.now engine, us) :: !completions;
+                        slo_done us;
                         if Engine.now engine < stop then new_request conn
                       | _ -> ())
                     msgs);

@@ -69,6 +69,7 @@ val drive :
   ?value_size:int ->
   ?op_timeout:Nest_sim.Time.ns ->
   ?connect_timeout:Nest_sim.Time.ns ->
+  ?slo:Nest_sim.Slo.t ->
   start:Nest_sim.Time.ns ->
   stop:Nest_sim.Time.ns ->
   unit ->
@@ -80,4 +81,6 @@ val drive :
     (default 500 ms) bounds the handshake instead: it must outlive a SYN
     retransmission, because the first SYN after a re-deploy can chase a
     stale neighbour entry and only the retransmit reaches the
-    replacement pod. *)
+    replacement pod.  [slo] receives one {!Nest_sim.Slo.observe_sent}
+    per op attempted and an [observe_ok] + [observe_latency] per
+    completion. *)

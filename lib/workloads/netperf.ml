@@ -185,10 +185,20 @@ type rr_driver = {
 }
 
 let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
-    ?(resend_timeout = Time.ms 10) ~start ~stop () =
+    ?(resend_timeout = Time.ms 10) ?slo ~start ~stop () =
   let engine = tb.Testbed.engine in
   let sent = ref 0 and lost = ref 0 in
   let completions = ref [] in
+  let slo_sent () =
+    match slo with Some s -> Nest_sim.Slo.observe_sent s | None -> ()
+  in
+  let slo_done us =
+    match slo with
+    | Some s ->
+      Nest_sim.Slo.observe_ok s;
+      Nest_sim.Slo.observe_latency s us
+    | None -> ()
+  in
   (* Sequence tags tell a live transaction's reply from a stale one: a
      reply outrun by its own watchdog must not complete the transaction
      the watchdog already re-drove. *)
@@ -201,6 +211,7 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
       let s = !seq in
       outstanding := s;
       incr sent;
+      slo_sent ();
       (match (!sock, target ()) with
       | Some sk, Some (ip, p) ->
         Stack.Udp.sendto sk ~dst:ip ~dst_port:p
@@ -221,9 +232,9 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
         match payload.Payload.msg with
         | Some (Rr_tagged { seq = s; t0 }) when !outstanding = s ->
           outstanding := 0;
-          completions :=
-            (Engine.now engine, Time.to_us_f (Engine.now engine - t0))
-            :: !completions;
+          let us = Time.to_us_f (Engine.now engine - t0) in
+          completions := (Engine.now engine, us) :: !completions;
+          slo_done us;
           if Engine.now engine < stop then
             Nest_sim.Exec.submit cl_exec ~cost:app_send_cost_ns send_next
         | _ -> ())

@@ -88,6 +88,7 @@ val udp_rr_driver :
   target:(unit -> (Nest_net.Ipv4.t * int) option) ->
   msg_size:int ->
   ?resend_timeout:Nest_sim.Time.ns ->
+  ?slo:Nest_sim.Slo.t ->
   start:Nest_sim.Time.ns ->
   stop:Nest_sim.Time.ns ->
   unit ->
@@ -96,4 +97,6 @@ val udp_rr_driver :
     answers (polled per send, so the harness can re-point it after a
     re-deploy; [None] while the service is down just burns watchdog
     losses).  Runs between [start] and [stop] of virtual time without
-    ever calling [Engine.run]. *)
+    ever calling [Engine.run].  [slo] receives one
+    {!Nest_sim.Slo.observe_sent} per transaction attempted and an
+    [observe_ok] + [observe_latency] per completion. *)

@@ -11,6 +11,7 @@ module Engine = Nest_sim.Engine
 module Trace = Nest_sim.Trace
 module Metrics = Nest_sim.Metrics
 module Stats = Nest_sim.Stats
+module Hdr = Nest_sim.Hdr
 module Heap = Nest_sim.Heap
 
 (* --- Trace ring --- *)
@@ -96,8 +97,8 @@ let test_metrics_roundtrip () =
   let backing = ref 7.0 in
   Metrics.gauge_probe m "probe" (fun () -> !backing);
   let h = Metrics.histogram m "lat" in
-  Stats.add h 1.0;
-  Stats.add h 3.0;
+  Hdr.add h 1.0;
+  Hdr.add h 3.0;
   Alcotest.(check int) "counter handle" 5 (Metrics.counter_value c);
   Alcotest.(check bool) "same handle on re-lookup" true
     (Metrics.counter m "requests" == c);
@@ -118,7 +119,7 @@ let test_metrics_roundtrip () =
   | _ -> Alcotest.fail "probe lost");
   Metrics.reset m;
   Alcotest.(check int) "counter reset via handle" 0 (Metrics.counter_value c);
-  Alcotest.(check int) "hist emptied via handle" 0 (Stats.count h);
+  Alcotest.(check int) "hist emptied via handle" 0 (Hdr.count h);
   (match Metrics.find m "probe" with
   | Some (Metrics.Gauge p) ->
     Alcotest.(check (float 0.0)) "probe survives reset" 9.0 p
@@ -133,14 +134,20 @@ let test_metrics_json () =
   let m = Metrics.create () in
   Metrics.bump (Metrics.counter m "c") ~by:2 ();
   Metrics.set_gauge m "g\"q" 1.5;
-  Stats.add (Metrics.histogram m "h") 4.0;
+  Hdr.add (Metrics.histogram m "h") 4.0;
   let j = Metrics.to_json m in
   Alcotest.(check bool) "escaped name" true
     (Astring.String.is_infix ~affix:"g\\\"q" j);
   Alcotest.(check bool) "counter value" true
     (Astring.String.is_infix ~affix:"\"value\":2" j);
   Alcotest.(check bool) "histogram count" true
-    (Astring.String.is_infix ~affix:"\"count\":1" j)
+    (Astring.String.is_infix ~affix:"\"count\":1" j);
+  (* Histograms dump their full percentile ladder, not just a mean. *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " emitted") true
+        (Astring.String.is_infix ~affix:("\"" ^ key ^ "\":") j))
+    [ "p50"; "p90"; "p99"; "p999"; "min"; "max"; "total"; "mean" ]
 
 (* --- Heap slot release (space-leak regression) --- *)
 
