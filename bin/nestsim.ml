@@ -16,7 +16,7 @@ let list_cmd () =
         e.Nest_experiments.Registry.description)
     (Nest_experiments.Registry.all @ Nest_experiments.Registry.ablations)
 
-let run_cmd ids quick jobs trace metrics obs_json trace_capacity =
+let run_cmd ids quick jobs shards trace metrics obs_json trace_capacity =
   if trace_capacity <= 0 then begin
     Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
       trace_capacity;
@@ -26,6 +26,11 @@ let run_cmd ids quick jobs trace metrics obs_json trace_capacity =
     Printf.eprintf "nestsim: --jobs must be positive (got %d)\n" jobs;
     exit 1
   end;
+  if shards <= 0 then begin
+    Printf.eprintf "nestsim: --shards must be positive (got %d)\n" shards;
+    exit 1
+  end;
+  Nestfusion.Testbed.set_default_shards shards;
   Nest_experiments.Exp_util.Obs.configure ~trace ~metrics ~json:obs_json
     ~trace_capacity ();
   Nest_experiments.Exp_util.Par.set_jobs jobs;
@@ -49,12 +54,18 @@ let run_cmd ids quick jobs trace metrics obs_json trace_capacity =
 (* Observability-first run: full collection on, any registered experiment
    (or none), a Perfetto-loadable Chrome trace written to --out, and a
    per-hop latency-attribution table comparing the deployment modes. *)
-let obs_cmd ids quick out trace_capacity timeline_period_us prov_sample slo =
+let obs_cmd ids quick shards out trace_capacity timeline_period_us prov_sample
+    slo =
   if trace_capacity <= 0 then begin
     Printf.eprintf "nestsim: --trace-capacity must be positive (got %d)\n"
       trace_capacity;
     exit 1
   end;
+  if shards <= 0 then begin
+    Printf.eprintf "nestsim: --shards must be positive (got %d)\n" shards;
+    exit 1
+  end;
+  Nestfusion.Testbed.set_default_shards shards;
   if timeline_period_us <= 0 then begin
     Printf.eprintf "nestsim: --timeline-period must be positive (got %d)\n"
       timeline_period_us;
@@ -91,6 +102,7 @@ let obs_cmd ids quick out trace_capacity timeline_period_us prov_sample slo =
   Nest_sim.Trace_export.to_file ex out;
   List.iter Nest_experiments.Exp_util.print_attribution probes;
   Nest_experiments.Exp_util.print_cache_health ();
+  Nest_experiments.Exp_util.Obs.print_shard_tables ();
   Nest_experiments.Exp_util.Obs.discard ();
   (* Live SLO monitoring demo: one fault-free served cell per deployment
      mode carrying netperf UDP_RR with the standard chaos objectives
@@ -177,6 +189,16 @@ let jobs =
                  each) across $(docv) domains.  Results are identical for \
                  any value; only wall-clock time changes.")
 
+let shards =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Partition every testbed's event loop into $(docv) \
+                 conservative sub-engines (null-message synchronized; see \
+                 DESIGN.md).  Results are byte-identical for any value; \
+                 single-testbed experiments embed at shard 0, so this \
+                 mainly exercises the sharded loop — multi-node scaling \
+                 lives in the $(b,cluster) subcommand.")
+
 let ids =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiment ids (fig2..fig15, table1, table2) or 'all'.")
@@ -207,7 +229,7 @@ let run_term =
   let doc = "Run experiments (default: all)." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_cmd $ ids $ quick $ jobs $ trace_flag $ metrics_flag
+      const run_cmd $ ids $ quick $ jobs $ shards $ trace_flag $ metrics_flag
       $ obs_json $ trace_capacity)
 
 let list_term =
@@ -259,17 +281,22 @@ let obs_term =
     in
     Cmd.v (Cmd.info "run" ~doc)
       Term.(
-        const obs_cmd $ obs_ids $ quick $ out $ trace_capacity
+        const obs_cmd $ obs_ids $ quick $ shards $ out $ trace_capacity
         $ timeline_period $ prov_sample $ slo_flag)
   in
   let doc = "Observability workflows (Perfetto export, latency attribution)." in
   Cmd.group (Cmd.info "obs" ~doc) [ run ]
 
-let chaos_cmd rates seed jobs quick check workload standby =
+let chaos_cmd rates seed jobs shards quick check workload standby =
   if jobs <= 0 then begin
     Printf.eprintf "nestsim: --jobs must be positive (got %d)\n" jobs;
     exit 1
   end;
+  if shards <= 0 then begin
+    Printf.eprintf "nestsim: --shards must be positive (got %d)\n" shards;
+    exit 1
+  end;
+  Nestfusion.Testbed.set_default_shards shards;
   if standby < 0 then begin
     Printf.eprintf "nestsim: --standby must be >= 0 (got %d)\n" standby;
     exit 1
@@ -347,8 +374,65 @@ let chaos_term =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const chaos_cmd $ rates $ seed $ jobs $ quick $ check $ workload
-      $ standby)
+      const chaos_cmd $ rates $ seed $ jobs $ shards $ quick $ check
+      $ workload $ standby)
+
+let cluster_cmd nodes shards domains seed quick check =
+  if nodes <= 0 then begin
+    Printf.eprintf "nestsim: --nodes must be positive (got %d)\n" nodes;
+    exit 1
+  end;
+  if shards <= 0 then begin
+    Printf.eprintf "nestsim: --shards must be positive (got %d)\n" shards;
+    exit 1
+  end;
+  if domains <= 0 then begin
+    Printf.eprintf "nestsim: --domains must be positive (got %d)\n" domains;
+    exit 1
+  end;
+  if check then begin
+    if not (Nest_experiments.Fig_cluster.check ~nodes ~seed ~quick ()) then
+      exit 1
+  end
+  else
+    Nest_experiments.Fig_cluster.run ~nodes ~shards ~domains ~seed ~quick ()
+
+let cluster_term =
+  let nodes =
+    Arg.(value & opt int 4
+         & info [ "nodes" ] ~docv:"N"
+             ~doc:"Ring size: $(docv) full single-node testbeds, node i's \
+                   client driving node i+1's service across a wire.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"OS-level parallelism: pump the shards from $(docv) \
+                   domains (capped at the shard count).  The digest is \
+                   identical for any value.")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Root seed; each node keys its private streams off it, \
+                   so the outcome is independent of placement.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Determinism guard: digest the scenario at shards 1, 2 \
+                   and 4 (the latter two also with 2 domains); exit \
+                   non-zero unless all digests are byte-identical.")
+  in
+  let doc =
+    "Cross-node UDP_RR ring on the sharded parallel engine: one \
+     conservative sub-engine per shard, inter-node links providing the \
+     synchronization lookahead.  The scenario the single sequential \
+     event loop capped — and the determinism witness for --shards."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const cluster_cmd $ nodes $ shards $ domains $ seed $ quick $ check)
 
 let trace_term =
   let users =
@@ -382,6 +466,6 @@ let main =
   Cmd.group
     (Cmd.info "nestsim" ~version:"1.0.0" ~doc)
     ~default:Term.(const (fun () -> list_cmd ()) $ const ())
-    [ run_term; list_term; obs_term; chaos_term; trace_term ]
+    [ run_term; list_term; obs_term; chaos_term; cluster_term; trace_term ]
 
 let () = exit (Cmd.eval main)

@@ -15,13 +15,39 @@ type t = {
   client_subnet : Ipv4.cidr;
   mutable vms : Nest_virt.Vm.t list;
   mutable nodes : Nest_orch.Node.t list;
+  sharded : Nest_sim.Sharded.t option;
+  prefix : string;
 }
 
 val create :
-  ?seed:int64 -> ?cost_model:Nest_virt.Cost_model.t -> ?num_vms:int -> unit -> t
+  ?seed:int64 ->
+  ?cost_model:Nest_virt.Cost_model.t ->
+  ?num_vms:int ->
+  ?sharded:Nest_sim.Sharded.t * int ->
+  ?prefix:string ->
+  ?rng:Nest_sim.Prng.t ->
+  unit ->
+  t
 (** [num_vms] defaults to 1 (Figs. 2–8); pod-pair experiments use 2.
     VM i is "vm<i+1>" at 10.0.0.<i+2> on bridge "virbr0" (10.0.0.1/24).
-    The client namespace is 192.168.100.2, masqueraded as 10.0.0.1. *)
+    The client namespace is 192.168.100.2, masqueraded as 10.0.0.1.
+
+    [sharded] embeds the testbed in shard [i] of an existing
+    {!Nest_sim.Sharded} group instead of creating a private engine
+    ([seed] is then unused — seed the group, or pass [rng]);
+    {!run_until} drives the whole group in that case.  [prefix]
+    prepends every entity/device/namespace name (multi-node scenarios
+    use ["n<i>:"] so metrics and traces from cohabiting testbeds stay
+    distinguishable).  [rng] keys the node's random streams on a
+    caller-owned stream so they are independent of engine placement. *)
+
+val set_default_shards : int -> unit
+(** The CLI's [--shards N] (clamped to ≥ 1): testbeds created without an
+    explicit [?sharded] embed themselves at shard 0 of a private N-shard
+    group, so every scenario runs through the conservative sharded loop
+    — byte-identically, since shard 0 keeps the root seed. *)
+
+val get_default_shards : unit -> int
 
 val vm : t -> int -> Nest_virt.Vm.t
 (** 0-based. Raises [Failure] when out of range. *)

@@ -10,6 +10,23 @@ let durations ~quick =
   if quick then { warmup = Time.ms 50; measure = Time.ms 250 }
   else { warmup = Time.ms 100; measure = Time.sec 1 }
 
+(* Shard-imbalance table for a conservative sharded run: how much each
+   sub-engine actually did, how often its clock stalled on lookahead,
+   and how many null messages (clock broadcasts while blocked) it cost
+   to keep the neighbours moving. *)
+let print_shard_table sd =
+  print_endline "per-shard progress:";
+  print_endline
+    "  shard    events  delivered  blocked  null-msgs  pending  clock-ms";
+  Array.iter
+    (fun s ->
+      Printf.printf "  %5d  %8d  %9d  %7d  %9d  %7d  %8.1f\n"
+        s.Nest_sim.Sharded.ss_shard s.Nest_sim.Sharded.ss_events
+        s.Nest_sim.Sharded.ss_delivered s.Nest_sim.Sharded.ss_blocked
+        s.Nest_sim.Sharded.ss_null s.Nest_sim.Sharded.ss_pending
+        (float_of_int s.Nest_sim.Sharded.ss_clock /. 1e6))
+    (Nest_sim.Sharded.stats sd)
+
 module Obs = struct
   (* Presentation-layer switchboard for the CLI's --trace/--metrics
      flags.  The observability *data* lives on each run's engine (and
@@ -35,6 +52,7 @@ module Obs = struct
     at_label : string;
     at_engine : Engine.t;
     at_timeline : Nest_sim.Timeline.t option;
+    at_sharded : Nest_sim.Sharded.t option;
   }
 
   (* Newest-first; reversed to attachment order wherever it is
@@ -68,7 +86,7 @@ module Obs = struct
   let enabled () = cfg.trace || cfg.metrics || cfg.provenance || cfg.timeline
   let provenance_on () = cfg.provenance
 
-  let attach_engine ?acct engine ~label =
+  let attach_engine ?acct ?sharded engine ~label =
     if enabled () then begin
       if cfg.trace && Engine.tracer engine = None then
         Engine.set_tracer engine
@@ -88,13 +106,25 @@ module Obs = struct
               | Some _ | None -> None
             in
             attached :=
-              { at_label = label; at_engine = engine; at_timeline }
+              { at_label = label; at_engine = engine; at_timeline;
+                at_sharded = sharded }
               :: !attached
           end)
     end
 
   let attach tb ~label =
-    attach_engine ~acct:tb.Testbed.acct tb.Testbed.engine ~label
+    attach_engine ~acct:tb.Testbed.acct ?sharded:tb.Testbed.sharded
+      tb.Testbed.engine ~label
+
+  let print_shard_tables () =
+    List.iter
+      (fun a ->
+        match a.at_sharded with
+        | None -> ()
+        | Some sd ->
+          Printf.printf "\n--- shards: %s ---\n" a.at_label;
+          print_shard_table sd)
+      (locked (fun () -> List.rev !attached))
 
   let discard () =
     locked (fun () ->
@@ -105,12 +135,16 @@ module Obs = struct
 
   let dump_text () =
     List.iter
-      (fun { at_label = label; at_engine = engine; at_timeline } ->
+      (fun { at_label = label; at_engine = engine; at_timeline; at_sharded }
+           ->
         Printf.printf "\n--- observability: %s ---\n" label;
         if cfg.metrics then begin
           print_endline "metrics:";
           Format.printf "%a@?" Metrics.pp_text (Engine.metrics engine)
         end;
+        (match at_sharded with
+        | None -> ()
+        | Some sd -> print_shard_table sd);
         (match at_timeline with
         | None -> ()
         | Some tl -> Format.printf "%a@?" Nest_sim.Timeline.pp tl);
@@ -128,7 +162,9 @@ module Obs = struct
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\"runs\":[";
     List.iteri
-      (fun i { at_label = label; at_engine = engine; at_timeline = _ } ->
+      (fun i
+           { at_label = label; at_engine = engine; at_timeline = _;
+             at_sharded = _ } ->
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b
           (Printf.sprintf "{\"label\":\"%s\"" (Trace.json_escape label));

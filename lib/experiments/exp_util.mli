@@ -10,6 +10,11 @@ type durations = {
 val durations : quick:bool -> durations
 (** quick: 50 ms / 250 ms; full: 100 ms / 1 s. *)
 
+val print_shard_table : Nest_sim.Sharded.t -> unit
+(** Per-shard progress/imbalance table ({!Nest_sim.Sharded.stats}):
+    events processed, cross-shard deliveries, clock advances blocked on
+    lookahead, null messages sent, queue backlog and final clock. *)
+
 (** Observability switchboard for the experiment drivers (the CLI's
     [--trace]/[--metrics] flags).  [configure] sets what to collect;
     the [deploy_*_sync] helpers attach each testbed they create; [dump]
@@ -42,7 +47,13 @@ module Obs : sig
       timelines are on.  No-op when nothing is enabled. *)
 
   val attach_engine :
-    ?acct:Nest_sim.Cpu_account.t -> Nest_sim.Engine.t -> label:string -> unit
+    ?acct:Nest_sim.Cpu_account.t ->
+    ?sharded:Nest_sim.Sharded.t ->
+    Nest_sim.Engine.t ->
+    label:string ->
+    unit
+  (** [sharded] additionally prints the group's per-shard progress table
+      on [dump] (events, deliveries, lookahead stalls, null messages). *)
 
   val export_chrome : unit -> Nest_sim.Trace_export.t
   (** Everything attached so far as one Chrome trace: each run becomes a
@@ -53,6 +64,11 @@ module Obs : sig
   val dump : unit -> unit
   (** Prints collected metrics/traces (text, or JSON with [json:true])
       for every attached engine, then discards the attachments. *)
+
+  val print_shard_tables : unit -> unit
+  (** Per-shard progress tables for every attached sharded group,
+      without dumping (or discarding) anything else — the shard
+      imbalance view for runs that export rather than [dump]. *)
 
   val discard : unit -> unit
   (** Forgets attached engines without printing. *)

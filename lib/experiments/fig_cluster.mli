@@ -1,0 +1,39 @@
+(** Cluster-scale cross-node netperf over the sharded engine.
+
+    [nodes] single-node testbeds (each the paper's full host + VM + NAT
+    topology) are partitioned round-robin onto [shards] conservative
+    sub-engines ({!Nest_sim.Sharded}); node i's client drives UDP_RR
+    against node ((i+1) mod nodes)'s deployed service through a
+    {!Nest_net.Wire} relay whose latency is the inter-node link delay —
+    and, for the sharded loop, its lookahead.  This is the scenario the
+    single sequential event loop capped: with [shards = nodes] and
+    [domains > 1] the ring runs on multiple cores, byte-identically. *)
+
+val run :
+  ?nodes:int ->
+  ?shards:int ->
+  ?domains:int ->
+  ?seed:int64 ->
+  quick:bool ->
+  unit ->
+  unit
+(** Prints the per-node transaction table, the cross-node digest, and
+    the per-shard progress table.  [shards] defaults to the CLI's
+    [--shards] ({!Nestfusion.Testbed.get_default_shards}); [domains] to
+    1. *)
+
+val digest :
+  ?nodes:int ->
+  ?shards:int ->
+  ?domains:int ->
+  ?seed:int64 ->
+  quick:bool ->
+  unit ->
+  string
+(** MD5 over every node's (sent, lost, completion trace) — the
+    determinism witness: must not depend on [shards] or [domains]. *)
+
+val check : ?nodes:int -> ?seed:int64 -> quick:bool -> unit -> bool
+(** CI smoke: digests at shards 1, 2 and 4 (the latter two also with
+    [domains = 2]) must all match; prints one line per configuration.
+    Returns false on any mismatch. *)

@@ -72,7 +72,10 @@ let ablations =
       run = (fun ~quick -> Ext_mempipe.run ~quick) };
     { id = "chaos";
       description = "Fault injection & recovery: availability per mode";
-      run = (fun ~quick -> Fig_chaos.run ~quick ()) } ]
+      run = (fun ~quick -> Fig_chaos.run ~quick ()) };
+    { id = "cluster";
+      description = "Cross-node UDP_RR ring on the sharded engine";
+      run = (fun ~quick -> Fig_cluster.run ~quick ()) } ]
 
 let find id = List.find_opt (fun e -> e.id = id) (all @ ablations)
 let ids () = List.map (fun e -> e.id) (all @ ablations)

@@ -1236,7 +1236,7 @@ let detach ns dev =
   Route.remove_dev ns.rt dev;
   Dev.clear_rx dev
 
-let create engine ~name ~costs ?(with_loopback = true) () =
+let create engine ~name ~costs ?(with_loopback = true) ?rng () =
   let cnt =
     { delivered = 0; forwarded_pkts = 0; dropped_no_socket = 0;
       dropped_no_route = 0; dropped_filtered = 0; dropped_ttl = 0;
@@ -1251,7 +1251,9 @@ let create engine ~name ~costs ?(with_loopback = true) () =
       icmp_waiters = Hashtbl.create 4; next_eph = ephemeral_base;
       next_icmp_id = 1; fwd = false; trace_all = false; prov_all = false;
       prov_tick = 0; cnt; lo = None; observer = None;
-      ns_rng = Nest_sim.Prng.split (Engine.rng engine);
+      ns_rng =
+        Nest_sim.Prng.split
+          (match rng with Some r -> r | None -> Engine.rng engine);
       fc_enabled = default_flow_cache (); fc_gen = 0;
       sock_gen = 0; neigh_gen = Hashtbl.create 16;
       out_cache = Hashtbl.create 64; in_cache = Hashtbl.create 64;

@@ -45,11 +45,15 @@ val create :
   name:string ->
   costs:costs ->
   ?with_loopback:bool ->
+  ?rng:Nest_sim.Prng.t ->
   unit ->
   ns
 (** [with_loopback] (default true) installs a standard [lo] device holding
     127.0.0.1/8.  Pod fractions backed by Hostlo pass [false] and give the
-    Hostlo endpoint the localhost address instead. *)
+    Hostlo endpoint the localhost address instead.  [rng] is the stream the
+    namespace splits its jitter stream from (default: the engine root) —
+    sharded scenarios pass a per-node stream so draws are identical however
+    the nodes are partitioned onto engines. *)
 
 val name : ns -> string
 val engine : ns -> Nest_sim.Engine.t

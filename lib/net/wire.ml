@@ -1,0 +1,57 @@
+(* L4 relay between testbeds on different shards.  See wire.mli.
+
+   Both gateway handlers run as ordinary stack deliveries on their own
+   shard; the only cross-shard step is the Sharded.send, whose delay
+   equals the link's lookahead, so the wire itself contributes exactly
+   one latency per direction and fixes each payload's delivery date at
+   send time (the determinism contract). *)
+
+module Sharded = Nest_sim.Sharded
+
+type t = {
+  mutable w_client : (Ipv4.t * int) option;  (* last client src seen *)
+  mutable w_forwarded : int;
+  mutable w_returned : int;
+}
+
+let udp_relay sd ~client_side:(cshard, cns) ~server_side:(sshard, sns)
+    ~client_port ~server_port ~target:(tip, tport) ~latency () =
+  let t = { w_client = None; w_forwarded = 0; w_returned = 0 } in
+  let fwd =
+    Sharded.link sd ~src:cshard ~dst:sshard ~lookahead:latency
+      ~label:(Printf.sprintf "wire:%s>%s" (Stack.name cns) (Stack.name sns))
+      ()
+  in
+  let rev =
+    Sharded.link sd ~src:sshard ~dst:cshard ~lookahead:latency
+      ~label:(Printf.sprintf "wire:%s>%s" (Stack.name sns) (Stack.name cns))
+      ()
+  in
+  (* Tie the knot: the server-side handler needs the client-side socket
+     for the return path, and both sockets capture [t]. *)
+  let client_sock = ref None in
+  let server_sock =
+    Stack.Udp.bind sns ~port:server_port (fun sk ~src:_ payload ->
+        (* A reply from the server: ship it home.  [w_client] is read on
+           the client shard at delivery time — single-flow wires only
+           ever hold one value by then. *)
+        ignore sk;
+        Sharded.send sd rev ~delay:latency (fun () ->
+            t.w_returned <- t.w_returned + 1;
+            match (t.w_client, !client_sock) with
+            | Some (ip, p), Some csock ->
+              Stack.Udp.sendto csock ~dst:ip ~dst_port:p payload
+            | _ -> ()))
+  in
+  let csock =
+    Stack.Udp.bind cns ~port:client_port (fun _ ~src payload ->
+        t.w_client <- Some src;
+        Sharded.send sd fwd ~delay:latency (fun () ->
+            t.w_forwarded <- t.w_forwarded + 1;
+            Stack.Udp.sendto server_sock ~dst:tip ~dst_port:tport payload))
+  in
+  client_sock := Some csock;
+  t
+
+let forwarded t = t.w_forwarded
+let returned t = t.w_returned

@@ -1,0 +1,45 @@
+(** Cross-node wires: UDP relay gateways over a {!Nest_sim.Sharded} link.
+
+    Two single-node testbeds living on different shards have no shared
+    L2/L3 fabric (each has its own bridge and subnets, and the address
+    plans deliberately coincide).  A wire bridges one UDP service across
+    that gap at L4, the way a load-balancer VIP or node-port does: the
+    client sends to a gateway socket on its own node; the gateway ships
+    the payload over a {!Nest_sim.Sharded.link} whose lookahead is the
+    wire's latency (the inter-node RTT/2 — the netem/VXLAN underlay
+    delay); the remote gateway re-emits it toward the server address,
+    and replies retrace the path.
+
+    Payloads cross untouched, so request/response tagging (e.g. netperf's
+    [Rr_tagged]) survives the relay.  A wire serves one closed-loop flow:
+    replies return to the most recent client source address, which is
+    exact for the one-outstanding-transaction drivers used in the
+    cluster scenarios. *)
+
+type t
+
+val udp_relay :
+  Nest_sim.Sharded.t ->
+  client_side:int * Stack.ns ->
+  server_side:int * Stack.ns ->
+  client_port:int ->
+  server_port:int ->
+  target:Ipv4.t * int ->
+  latency:Nest_sim.Time.ns ->
+  unit ->
+  t
+(** [udp_relay sd ~client_side:(shard, ns) ~server_side:(shard', ns') ...]
+    binds a gateway socket on [client_port] in the client-side namespace
+    and on [server_port] in the server-side one, and creates the forward
+    and reverse sharded links (both with [lookahead = latency]).
+    Clients reach the service at the client-side namespace's address on
+    [client_port]; the server-side gateway forwards to [target] (and
+    receives replies on [server_port], so a node that both serves and
+    consumes binds two distinct ports).  Raises like
+    {!Nest_sim.Sharded.link} on a non-positive [latency]. *)
+
+val forwarded : t -> int
+(** Datagrams delivered to the server side so far. *)
+
+val returned : t -> int
+(** Reply datagrams delivered back to the client side so far. *)

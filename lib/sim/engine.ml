@@ -1,8 +1,16 @@
 (* [lbl]/[lbl_epoch]: an optional pre-interned trace-name id for [label],
    valid only while [trace_epoch] still equals [lbl_epoch] (the tracer has
    not been swapped since the id was minted).  Lets the per-event hot path
-   skip the intern-pool hash lookup. *)
-type job = { label : string; lbl : int; lbl_epoch : int; fn : unit -> unit }
+   skip the intern-pool hash lookup.
+
+   Unlabeled events — the bulk of every run — are carried as a bare
+   [Plain] closure: no metadata record, no tracer check at execution
+   (an unlabeled event is never bracketed by spans).  The labeled
+   variant pays for its record only when a label was supplied. *)
+type job =
+  | Plain of (unit -> unit)
+  | Labeled of { label : string; lbl : int; lbl_epoch : int;
+                 fn : unit -> unit }
 
 type prof_slot = { mutable calls : int; mutable wall : float }
 
@@ -74,16 +82,21 @@ let profile t =
     Hashtbl.fold (fun label s acc -> (label, s.calls, s.wall) :: acc) tbl []
     |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
 
-let schedule_at t ?(label = "") ~at fn =
+let schedule_at t ?label ~at fn =
   let at = max at t.clock in
-  Wheel.push t.queue ~prio:at { label; lbl = -1; lbl_epoch = 0; fn }
+  match label with
+  | None | Some "" -> Wheel.push t.queue ~prio:at (Plain fn)
+  | Some label ->
+    Wheel.push t.queue ~prio:at
+      (Labeled { label; lbl = -1; lbl_epoch = 0; fn })
 
 (* Hot-caller variant (see {!Exec.submit_timed}): the label's trace-name
    id was interned once by the caller and rides along, so tracing this
    event costs two ring writes and no hashing. *)
 let schedule_at_interned t ~label ~lbl ~at fn =
   let at = max at t.clock in
-  Wheel.push t.queue ~prio:at { label; lbl; lbl_epoch = t.trace_epoch; fn }
+  Wheel.push t.queue ~prio:at
+    (Labeled { label; lbl; lbl_epoch = t.trace_epoch; fn })
 
 let schedule t ?label ~delay fn =
   schedule_at t ?label ~at:(t.clock + max 0 delay) fn
@@ -92,29 +105,41 @@ let schedule t ?label ~delay fn =
    [fn ()] as possible: the ≤2%-overhead budget for disabled observability
    is burned here, once per simulated event. *)
 let exec t job at =
-  match t.tracer with
-  | Some tr when job.label <> "" ->
-    let name =
-      if job.lbl >= 0 && job.lbl_epoch = t.trace_epoch then job.lbl
-      else Trace.intern_name tr job.label
-    in
-    Trace.record_i tr ~shard:0 ~prio:0 ~ts:at Trace.Span_begin
-      ~cat:t.engine_cat ~name ~arg:"";
-    job.fn ();
-    Trace.record_i tr ~shard:0 ~prio:0 ~ts:t.clock Trace.Span_end
-      ~cat:t.engine_cat ~name ~arg:""
-  | Some _ | None -> job.fn ()
+  match job with
+  | Plain fn -> fn ()
+  | Labeled { label; lbl; lbl_epoch; fn } -> (
+    match t.tracer with
+    | Some tr ->
+      let name =
+        if lbl >= 0 && lbl_epoch = t.trace_epoch then lbl
+        else Trace.intern_name tr label
+      in
+      Trace.record_i tr ~shard:0 ~prio:0 ~ts:at Trace.Span_begin
+        ~cat:t.engine_cat ~name ~arg:"";
+      fn ();
+      Trace.record_i tr ~shard:0 ~prio:0 ~ts:t.clock Trace.Span_end
+        ~cat:t.engine_cat ~name ~arg:""
+    | None -> fn ())
 
-let exec_profiled t tbl job at =
-  let t0 = t.prof_clock () in
-  exec t job at;
-  let dt = t.prof_clock () -. t0 in
-  let label = if job.label = "" then "<unlabeled>" else job.label in
+let prof_charge tbl label ~t0 ~t1 =
+  let dt = t1 -. t0 in
   match Hashtbl.find_opt tbl label with
   | Some s ->
     s.calls <- s.calls + 1;
     s.wall <- s.wall +. dt
   | None -> Hashtbl.add tbl label { calls = 1; wall = dt }
+
+let exec_profiled t tbl job at =
+  let t0 = t.prof_clock () in
+  exec t job at;
+  let t1 = t.prof_clock () in
+  let label =
+    match job with
+    | Plain _ -> "<unlabeled>"
+    | Labeled { label = ""; _ } -> "<unlabeled>"
+    | Labeled { label; _ } -> label
+  in
+  prof_charge tbl label ~t0 ~t1
 
 let step t =
   match Wheel.pop t.queue with
@@ -126,6 +151,27 @@ let step t =
     | None -> exec t job at
     | Some tbl -> exec_profiled t tbl job at);
     true
+
+let next_at t = Wheel.peek_prio t.queue
+
+let advance_to t horizon = if horizon > t.clock then t.clock <- horizon
+
+(* External-event execution (cross-shard mailbox deliveries): behaves
+   like popping a wheel event at [at] — advances the clock, counts it,
+   brackets it with a span when labeled and a tracer is installed — but
+   the thunk never sat in this engine's queue.  The conservative shard
+   loop guarantees [at >= clock] before calling. *)
+let run_external t ~at ?(label = "") fn =
+  let at = max at t.clock in
+  t.clock <- at;
+  t.executed <- t.executed + 1;
+  let job =
+    if label = "" then Plain fn
+    else Labeled { label; lbl = -1; lbl_epoch = 0; fn }
+  in
+  match t.prof with
+  | None -> exec t job at
+  | Some tbl -> exec_profiled t tbl job at
 
 let run ?until t =
   match until with

@@ -49,6 +49,22 @@ val intern_label : t -> string -> int
 (** The trace-name id of [label] in the installed tracer, or [-1] when
     no tracer is installed or [label] is [""]. *)
 
+val next_at : t -> Time.ns option
+(** Date of the earliest queued event, or [None] when the queue is
+    empty.  The conservative shard loop ({!Sharded}) uses this to decide
+    whether the next local event is safe to execute. *)
+
+val advance_to : t -> Time.ns -> unit
+(** Moves the clock forward to the given date (never backwards) without
+    executing anything — the end-of-horizon clamp [run ~until] applies,
+    exposed for external drivers. *)
+
+val run_external : t -> at:Time.ns -> ?label:string -> (unit -> unit) -> unit
+(** Executes one event that never sat in this engine's queue (a
+    cross-shard mailbox delivery): advances the clock to [at] (clamped
+    to [now]), counts it in {!events_processed}, and brackets it with an
+    [engine:<label>] span when labeled and a tracer is installed. *)
+
 val run : ?until:Time.ns -> t -> unit
 (** Pops events until the queue drains, or until the clock would pass
     [until] (events strictly after [until] remain queued; the clock is left

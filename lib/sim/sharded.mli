@@ -1,0 +1,89 @@
+(** Sharded parallel simulation: conservative per-shard event loops with
+    link-latency lookahead.
+
+    A sharded run partitions a scenario's state (hosts, namespaces,
+    devices, VMs, workload endpoints) into [shards] sub-engines — each an
+    ordinary {!Engine.t} with its own wheel queue, metrics registry and
+    (optionally) trace ring.  Within a shard, events execute in exactly
+    the engine's [(prio, seq)] order.  Shards interact only through
+    {!link}s: timestamped mailboxes whose [lookahead] is a lower bound on
+    the latency of every message sent across them (the simulated
+    inter-node link delay — netem/VXLAN underlay latency in this
+    repository's scenarios).
+
+    Synchronization is conservative, in the classic null-message style:
+    each shard may execute events strictly earlier than
+    [min over inbound links (publisher clock + lookahead)].  A shard
+    that is blocked (or out of work) broadcasts its clock floor — the
+    lower bound on its next event — so neighbours can advance even when
+    a link is idle; these broadcasts are counted as null messages in
+    {!stats}.  Because lookahead is required to be positive, the
+    broadcast fixpoint always makes progress and the system cannot
+    deadlock.
+
+    Determinism is a hard invariant: a message's delivery date is fixed
+    at send time, deliveries at equal dates order by (link creation
+    order, per-link send order) and execute before same-date local
+    events, so results are byte-identical however many shards the
+    scenario is folded onto and however many domains execute them —
+    [shards=1 ≡ shards=N], [domains=1 ≡ domains=D]. *)
+
+type t
+
+type link
+(** A unidirectional cross-shard channel with conservative lookahead. *)
+
+val create : ?seed:int64 -> shards:int -> unit -> t
+(** [shards] sub-engines.  Each sub-engine's root RNG seed is derived
+    deterministically from [seed] and the shard index; scenario state
+    that must be identical across shard counts should draw from streams
+    keyed on the *partition* (per node), not from the sub-engine root.
+    Raises [Invalid_argument] when [shards <= 0]. *)
+
+val shards : t -> int
+
+val engine : t -> int -> Engine.t
+(** The sub-engine of shard [i] (0-based).  Raises [Invalid_argument]
+    when out of range. *)
+
+val link :
+  t -> src:int -> dst:int -> lookahead:Time.ns -> ?label:string -> unit ->
+  link
+(** Declares a channel from shard [src] to shard [dst] on which every
+    send is delayed by at least [lookahead].  [label] names delivery
+    events for tracing/profiling on the destination engine.
+
+    [lookahead] must be strictly positive: a zero-lookahead link would
+    let a neighbour's event at date [t] schedule work here at the same
+    [t], leaving no safe horizon to execute ahead to — the conservative
+    loop could deadlock on an idle link.  Raises [Invalid_argument
+    "Sharded.link: lookahead must be > 0 (a zero-lookahead link cannot
+    be synchronized conservatively and would deadlock)"]. *)
+
+val send : t -> link -> delay:Time.ns -> (unit -> unit) -> unit
+(** [send t l ~delay fn], called from within an event executing on the
+    link's source shard, runs [fn] on the destination shard at
+    [source now + delay].  [delay] must be [>= lookahead] (the link's
+    conservative promise); raises [Invalid_argument] otherwise. *)
+
+val run : ?until:Time.ns -> ?domains:int -> t -> unit
+(** Advances every shard to [until] (events dated [<= until] execute;
+    every sub-engine clock ends at [>= until]).  [domains] (default 1)
+    spreads shards across that many OCaml domains — results are
+    identical for any value; only wall-clock time changes.  Omitting
+    [until] drains every queue and mailbox instead, which is only
+    supported single-domain (raises [Invalid_argument] with
+    [domains > 1]). *)
+
+type shard_stats = {
+  ss_shard : int;
+  ss_clock : Time.ns;      (** Sub-engine clock after the last run. *)
+  ss_events : int;         (** Events executed (local + deliveries). *)
+  ss_delivered : int;      (** Cross-shard mailbox deliveries executed. *)
+  ss_blocked : int;        (** Times the loop stalled on lookahead. *)
+  ss_null : int;           (** Clock broadcasts sent while blocked. *)
+  ss_pending : int;        (** Events left queued (beyond the horizon). *)
+}
+
+val stats : t -> shard_stats array
+(** Per-shard progress/imbalance counters, indexed by shard. *)

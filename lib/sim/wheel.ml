@@ -123,17 +123,51 @@ let cascade t k slot =
   end;
   List.iter (fun e -> place t e) entries
 
-(* Lowest pending tick; cascades higher levels down as a side effect so
-   that on return the minimum lives in a level-0 slot.  -1 when empty. *)
-let rec find_min t =
+(* Lowest pending tick without disturbing [base]: peeking must not
+   commit the wheel to "nothing will ever be filed before the next
+   event".  An external driver (a cross-shard mailbox delivery, see
+   {!Sharded}) can still execute work dated between the clock and that
+   event, and its follow-up pushes would then be clamped forward by a
+   prematurely advanced [base] — a whole-rotation misdelivery.  So the
+   read path scans the first occupied slot (its list is the global
+   minimum's home, see the level invariant above) and leaves cascading
+   to [pop], where [base] only ever advances to a tick being delivered.
+   The result is memoized wherever the minimum lives; [pop] recomputes
+   its slot from the level-0 mask after settling, so the memo never
+   implies level-0 residence.  -1 when empty. *)
+let find_min t =
   if t.count = 0 then -1
   else if t.cached_min >= 0 then t.cached_min
-  else if t.masks.(0) <> 0 then begin
-    let m = ((t.base lsr slot_bits) lsl slot_bits) lor ctz t.masks.(0) in
+  else begin
+    let m =
+      if t.masks.(0) <> 0 then
+        ((t.base lsr slot_bits) lsl slot_bits) lor ctz t.masks.(0)
+      else begin
+        let k = ref 1 in
+        while !k < levels && t.masks.(!k) = 0 do
+          incr k
+        done;
+        if !k < levels then
+          List.fold_left
+            (fun acc e -> if e.e_prio < acc then e.e_prio else acc)
+            max_int
+            t.slots.(!k).(ctz t.masks.(!k))
+        else begin
+          match Heap.peek_prio t.overflow with
+          | Some p -> p
+          | None -> assert false (* count > 0 *)
+        end
+      end
+    in
     t.cached_min <- m;
     m
   end
-  else begin
+
+(* Pop-time companion of [find_min]: cascades until the minimum lives in
+   a level-0 slot (advancing [base] as frames resolve — safe here, the
+   caller is about to deliver that tick). *)
+let rec settle t =
+  if t.masks.(0) = 0 then begin
     let k = ref 1 in
     while !k < levels && t.masks.(!k) = 0 do
       incr k
@@ -147,26 +181,32 @@ let rec find_min t =
         drain_overflow t
       | None -> assert false (* count > 0 *)
     end;
-    find_min t
+    settle t
   end
 
 let peek_prio t =
   let m = find_min t in
   if m < 0 then None else Some m
 
-(* Removes the minimum-sequence entry from [l] (non-empty). *)
+(* Removes the minimum-sequence entry from [l] (non-empty).  Level-0
+   slots hold one tick and are usually singletons — return the static
+   empty list for that case instead of paying a filter pass. *)
 let take_min_seq l =
-  let rec best m = function
-    | [] -> m
-    | e :: rest -> best (if e.e_seq < m.e_seq then e else m) rest
-  in
-  let m = best (List.hd l) (List.tl l) in
-  (m, List.filter (fun e -> e != m) l)
+  match l with
+  | [ e ] -> (e, [])
+  | l ->
+    let rec best m = function
+      | [] -> m
+      | e :: rest -> best (if e.e_seq < m.e_seq then e else m) rest
+    in
+    let m = best (List.hd l) (List.tl l) in
+    (m, List.filter (fun e -> e != m) l)
 
 let pop t =
-  let m = find_min t in
-  if m < 0 then None
+  if t.count = 0 then None
   else begin
+    settle t;
+    let m = ((t.base lsr slot_bits) lsl slot_bits) lor ctz t.masks.(0) in
     let slot = m land slot_mask in
     let lv = t.slots.(0) in
     let e, rest = take_min_seq lv.(slot) in
@@ -192,10 +232,7 @@ let push t ~prio value =
   t.next_seq <- t.next_seq + 1;
   t.count <- t.count + 1;
   place t e;
-  (* The memoized minimum must name a level-0 slot (pop reads it as one);
-     a smaller push outside level 0 just invalidates the memo. *)
-  if prio < t.cached_min then
-    t.cached_min <- (if prio lxor t.base < 32 then prio else -1)
+  if prio < t.cached_min then t.cached_min <- prio
 
 let size t = t.count
 let is_empty t = t.count = 0

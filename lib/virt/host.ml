@@ -14,12 +14,13 @@ type t = {
   soft : Exec.t;
   host_ns : Stack.ns;
   host_rng : Nest_sim.Prng.t;
+  rng_explicit : bool;  (* created with ~rng: key child streams off it *)
   mutable bridge_list : (string * Bridge.t) list;
   mutable vhost_count : int;
 }
 
 let create engine acct ?(cpus = 12) ?(cost_model = Cost_model.default)
-    ?(entity = "host") ~name () =
+    ?(entity = "host") ?rng ~name () =
   let cpuset = Nest_sim.Cpu_set.create ~cores:cpus ~name in
   let sys_exec =
     Exec.create ~account:(acct, entity, Cpu_account.Sys) ~width:cpus
@@ -30,11 +31,15 @@ let create engine acct ?(cpus = 12) ?(cost_model = Cost_model.default)
       ~name:(name ^ ":softirq")
   in
   let costs = Kernel_costs.stack_costs cost_model ~sys_exec ~soft_exec:soft in
-  let host_ns = Stack.create engine ~name ~costs () in
+  let host_ns = Stack.create engine ~name ~costs ?rng () in
   Stack.set_ip_forward host_ns true;
   { engine; acct; host_entity = entity; host_cpus = cpus; cm = cost_model;
     mac_alloc = Mac.Alloc.create (); cpuset; sys_exec; soft; host_ns;
-    host_rng = Nest_sim.Prng.split (Nest_sim.Engine.rng engine);
+    host_rng =
+      (match rng with
+      | Some r -> Nest_sim.Prng.split r
+      | None -> Nest_sim.Prng.split (Nest_sim.Engine.rng engine));
+    rng_explicit = (rng <> None);
     bridge_list = []; vhost_count = 0 }
 
 let engine t = t.engine
@@ -46,6 +51,13 @@ let ns t = t.host_ns
 let soft_exec t = t.soft
 let fresh_mac t = Mac.Alloc.fresh t.mac_alloc
 let rng t = t.host_rng
+
+(* Stream child namespaces should split their jitter streams from: the
+   host stream when the host was seeded explicitly (so draws are keyed
+   on the node, not on whichever engine the node landed on), the engine
+   root otherwise (the historical behaviour — existing single-node
+   scenarios stay byte-identical). *)
+let ns_rng_src t = if t.rng_explicit then Some t.host_rng else None
 
 let bridge_hop t =
   Hop.make t.soft ~fixed_ns:t.cm.Cost_model.bridge_fixed_ns
@@ -93,7 +105,7 @@ let new_process_ns t ~name ~entity =
   in
   Stack.create t.engine ~name
     ~costs:(Kernel_costs.stack_costs t.cm ~sys_exec ~soft_exec)
-    ()
+    ?rng:(ns_rng_src t) ()
 
 let new_app_exec t ~name ~entity =
   Exec.create ~account:(t.acct, entity, Cpu_account.Usr) ~cpus:t.cpuset

@@ -13,10 +13,15 @@ val create :
   ?cpus:int ->
   ?cost_model:Cost_model.t ->
   ?entity:string ->
+  ?rng:Nest_sim.Prng.t ->
   name:string ->
   unit ->
   t
-(** [cpus] defaults to 12 (the paper's Dell server); [entity] to "host". *)
+(** [cpus] defaults to 12 (the paper's Dell server); [entity] to "host".
+    [rng] keys this host's random streams (and, transitively, those of
+    its namespaces and guests) on a caller-owned stream instead of the
+    engine root — sharded cluster scenarios pass a per-node stream so
+    the node's draws do not depend on which sub-engine it shares. *)
 
 val engine : t -> Nest_sim.Engine.t
 val account : t -> Nest_sim.Cpu_account.t
@@ -34,6 +39,11 @@ val cpu_set : t -> Nest_sim.Cpu_set.t
 
 val fresh_mac : t -> Mac.t
 val rng : t -> Nest_sim.Prng.t
+
+val ns_rng_src : t -> Nest_sim.Prng.t option
+(** The stream child namespace stacks should split from: [Some (rng t)]
+    when the host was created with an explicit [~rng], [None] (split
+    from the engine root, the historical behaviour) otherwise. *)
 
 val add_bridge : t -> name:string -> ip:Ipv4.t -> subnet:Ipv4.cidr -> Bridge.t
 (** Creates a bridge, gives its self interface [ip] in the host namespace

@@ -39,7 +39,7 @@ let create host ~name ~vcpus ~mem_mb =
     Kernel_costs.stack_costs (guest_cost_model host) ~sys_exec:sys
       ~soft_exec:soft
   in
-  let vm_ns = Stack.create engine ~name ~costs () in
+  let vm_ns = Stack.create engine ~name ~costs ?rng:(Host.ns_rng_src host) () in
   Stack.set_ip_forward vm_ns true;
   { vm_name = name; vm_host = host; vm_vcpus = vcpus; vm_mem_mb = mem_mb;
     vm_cpuset; sys; soft; vm_ns; entity_list = [ name ]; nic_list = [];
@@ -59,7 +59,10 @@ let new_netns t ~name ?(with_loopback = true) () =
     Kernel_costs.stack_costs (guest_cost_model t.vm_host) ~sys_exec:t.sys
       ~soft_exec:t.soft
   in
-  let ns = Stack.create (Host.engine t.vm_host) ~name ~costs ~with_loopback () in
+  let ns =
+    Stack.create (Host.engine t.vm_host) ~name ~costs ~with_loopback
+      ?rng:(Host.ns_rng_src t.vm_host) ()
+  in
   t.netns_list <- t.netns_list @ [ ns ];
   ns
 
