@@ -377,7 +377,32 @@ let chaos_term =
       const chaos_cmd $ rates $ seed $ jobs $ shards $ quick $ check
       $ workload $ standby)
 
-let cluster_cmd nodes shards domains seed quick check =
+(* Resolve a --profile name ("none" or absent means unimpaired links). *)
+let resolve_profile = function
+  | None -> None
+  | Some "none" -> None
+  | Some name -> (
+    match Nest_net.Netem.profile name with
+    | Some p -> Some p
+    | None ->
+      Printf.eprintf "nestsim: unknown --profile %S (expected %s or none)\n"
+        name
+        (String.concat ", " (Nest_net.Netem.profile_names ()));
+      exit 1)
+
+let profile_arg =
+  let open Cmdliner in
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"P"
+           ~doc:"Named link profile for the inter-node wires: \
+                 $(b,datacenter), $(b,wan), $(b,edge) or $(b,lossy) (see \
+                 lib/net/netem).  The profile's one-way delay becomes each \
+                 wire's latency and lookahead; its loss and jitter are \
+                 applied per datagram, per direction, deterministically \
+                 for any shard split.  Default: unimpaired fixed-latency \
+                 links.")
+
+let cluster_cmd nodes shards domains seed quick check profile =
   if nodes <= 0 then begin
     Printf.eprintf "nestsim: --nodes must be positive (got %d)\n" nodes;
     exit 1
@@ -390,12 +415,14 @@ let cluster_cmd nodes shards domains seed quick check =
     Printf.eprintf "nestsim: --domains must be positive (got %d)\n" domains;
     exit 1
   end;
+  let profile = resolve_profile profile in
   if check then begin
-    if not (Nest_experiments.Fig_cluster.check ~nodes ~seed ~quick ()) then
-      exit 1
+    if not (Nest_experiments.Fig_cluster.check ~nodes ~seed ?profile ~quick ())
+    then exit 1
   end
   else
-    Nest_experiments.Fig_cluster.run ~nodes ~shards ~domains ~seed ~quick ()
+    Nest_experiments.Fig_cluster.run ~nodes ~shards ~domains ~seed ?profile
+      ~quick ()
 
 let cluster_term =
   let nodes =
@@ -432,7 +459,132 @@ let cluster_term =
   in
   Cmd.v (Cmd.info "cluster" ~doc)
     Term.(
-      const cluster_cmd $ nodes $ shards $ domains $ seed $ quick $ check)
+      const cluster_cmd $ nodes $ shards $ domains $ seed $ quick $ check
+      $ profile_arg)
+
+let fleet_cmd nodes pods rate arrival shards domains seed quick check profile
+    fault_rate standby =
+  if nodes <= 0 then begin
+    Printf.eprintf "nestsim: --nodes must be positive (got %d)\n" nodes;
+    exit 1
+  end;
+  if pods < 0 then begin
+    Printf.eprintf "nestsim: --pods must be >= 0 (got %d)\n" pods;
+    exit 1
+  end;
+  if rate <= 0.0 then begin
+    Printf.eprintf "nestsim: --rate must be positive (got %g)\n" rate;
+    exit 1
+  end;
+  if shards <= 0 then begin
+    Printf.eprintf "nestsim: --shards must be positive (got %d)\n" shards;
+    exit 1
+  end;
+  if domains <= 0 then begin
+    Printf.eprintf "nestsim: --jobs must be positive (got %d)\n" domains;
+    exit 1
+  end;
+  if fault_rate < 0.0 || fault_rate > 1.0 then begin
+    Printf.eprintf "nestsim: --fault-rate must be in [0,1] (got %g)\n"
+      fault_rate;
+    exit 1
+  end;
+  if standby < 0 then begin
+    Printf.eprintf "nestsim: --standby must be >= 0 (got %d)\n" standby;
+    exit 1
+  end;
+  let arrival =
+    match arrival with
+    | "poisson" -> `Poisson
+    | "constant" -> `Constant
+    | a ->
+      Printf.eprintf
+        "nestsim: unknown --arrival %S (expected poisson or constant)\n" a;
+      exit 1
+  in
+  let profile = resolve_profile profile in
+  let params =
+    { Nest_experiments.Fig_fleet.nodes; pods; rate; arrival; profile;
+      fault_rate; standby; seed }
+  in
+  if check then begin
+    if not (Nest_experiments.Fig_fleet.check ~params ~quick ()) then exit 1
+  end
+  else Nest_experiments.Fig_fleet.run ~params ~shards ~domains ~quick ()
+
+let fleet_term =
+  let nodes =
+    Arg.(value & opt int 8
+         & info [ "nodes" ] ~docv:"N"
+             ~doc:"Fleet size: $(docv) full single-node testbeds with \
+                   heterogeneous deployment modes (NAT, BrFusion, Hostlo \
+                   round-robin).")
+  in
+  let pods =
+    Arg.(value & opt int 200
+         & info [ "pods" ] ~docv:"P"
+             ~doc:"Cluster-trace pods replayed live through the scheduler \
+                   over the measurement window (arrivals, exponential \
+                   lifetimes, departures; unschedulable arrivals are \
+                   counted).")
+  in
+  let rate =
+    Arg.(value & opt float 2000.0
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Fleet-wide open-loop arrival rate in requests/s, split \
+                   evenly across nodes.  Arrivals never wait for \
+                   completions: latency is measured from each request's \
+                   scheduled start, so coordinated omission is impossible.")
+  in
+  let arrival =
+    Arg.(value & opt string "poisson"
+         & info [ "arrival" ] ~docv:"A"
+             ~doc:"Arrival process: $(b,poisson) (default) or \
+                   $(b,constant).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "domains" ] ~docv:"D"
+             ~doc:"OS-level parallelism: pump the shards from $(docv) \
+                   domains (capped at the shard count).  The digest is \
+                   identical for any value.")
+  in
+  let seed =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Root seed; every node, link and churn stream keys off \
+                   it, so the outcome is independent of placement.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Determinism guard: digest the scenario at (shards, \
+                   domains) = (1,1), (2,1), (4,2) and (4,4); exit non-zero \
+                   unless all digests are byte-identical.")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.0
+         & info [ "fault-rate" ] ~docv:"F"
+             ~doc:"Per-link-direction probability of one flap (admin-down \
+                   then up) during the window — the fleet-scale chaos \
+                   plan.  0 disables (default).")
+  in
+  let standby =
+    Arg.(value & opt int 0
+         & info [ "standby" ] ~docv:"S"
+             ~doc:"Hostlo standby endpoint pool depth per (VM, pod) on the \
+                   fleet's Hostlo nodes (see $(b,chaos --standby)).")
+  in
+  let doc =
+    "Fleet-scale trace replay: open-loop load generation (intended-start \
+     timestamping, bounded-concurrency admission) across a heterogeneous \
+     sharded fleet, with a live cluster-trace churning through the \
+     scheduler — per-mode SLO compliance and merged HDR percentiles."
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const fleet_cmd $ nodes $ pods $ rate $ arrival $ shards $ domains
+      $ seed $ quick $ check $ profile_arg $ fault_rate $ standby)
 
 let trace_term =
   let users =
@@ -466,6 +618,7 @@ let main =
   Cmd.group
     (Cmd.info "nestsim" ~version:"1.0.0" ~doc)
     ~default:Term.(const (fun () -> list_cmd ()) $ const ())
-    [ run_term; list_term; obs_term; chaos_term; cluster_term; trace_term ]
+    [ run_term; list_term; obs_term; chaos_term; cluster_term; fleet_term;
+      trace_term ]
 
 let () = exit (Cmd.eval main)

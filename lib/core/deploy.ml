@@ -39,7 +39,10 @@ let deploy_single (tb : Testbed.t) ~mode ~name ~entity ~port ~k =
           { site_ns = netns; site_addr = vm_primary_ip vm; site_port = port;
             site_exec = exec; site_entity = entity; site_new_exec })
   | `Brfusion ->
-    let config = Brfusion.make_config tb.Testbed.vmm ~host_bridge:"virbr0" in
+    let config =
+      Brfusion.make_config tb.Testbed.vmm
+        ~host_bridge:(tb.Testbed.prefix ^ "virbr0")
+    in
     let plugin = Brfusion.plugin config in
     plugin.Nest_orch.Cni.add ~pod_name:name ~node ~publish:[]
       ~k:(fun netns ->
@@ -65,7 +68,9 @@ type pair_site = {
   b_new_exec : string -> Nest_sim.Exec.t;
 }
 
-let deploy_pair (tb : Testbed.t) ~mode ~name ~a_entity ~b_entity ~port ~k =
+let deploy_pair ?(standby = 0) (tb : Testbed.t) ~mode ~name ~a_entity
+    ~b_entity ~port ~k =
+  if standby < 0 then invalid_arg "Deploy.deploy_pair: standby must be >= 0";
   let vm_a = Testbed.vm tb 0 in
   match mode with
   | `SameNode ->
@@ -150,7 +155,7 @@ let deploy_pair (tb : Testbed.t) ~mode ~name ~a_entity ~b_entity ~port ~k =
     let b_exec =
       Nest_virt.Vm.new_app_exec vm_b ~name:(name ^ ":b") ~entity:b_entity
     in
-    let config = Hostlo.make_config tb.Testbed.vmm in
+    let config = Hostlo.make_config ~standby tb.Testbed.vmm in
     let plugin = Hostlo.plugin config in
     plugin.Nest_orch.Cni.add ~pod_name:name ~node:(Testbed.node tb 0)
       ~publish:[]
@@ -158,6 +163,15 @@ let deploy_pair (tb : Testbed.t) ~mode ~name ~a_entity ~b_entity ~port ~k =
         plugin.Nest_orch.Cni.add ~pod_name:name ~node:(Testbed.node tb 1)
           ~publish:[]
           ~k:(fun b_ns ->
+            (* Warm the per-(VM, pod) endpoint pools right after both
+               fractions land, so a later reschedule claims instead of
+               paying the QMP hot-plug round-trip. *)
+            if standby > 0 then begin
+              Hostlo.preprovision config ~node:(Testbed.node tb 0)
+                ~pod_name:name;
+              Hostlo.preprovision config ~node:(Testbed.node tb 1)
+                ~pod_name:name
+            end;
             k
               { a_ns; a_exec; a_entity; b_ns; b_exec; b_entity;
                 b_addr = Ipv4.localhost; b_port = port;

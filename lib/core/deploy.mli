@@ -42,6 +42,7 @@ type pair_site = {
 }
 
 val deploy_pair :
+  ?standby:int ->
   Testbed.t ->
   mode:Modes.pair ->
   name:string ->
@@ -51,4 +52,8 @@ val deploy_pair :
   k:(pair_site -> unit) ->
   unit
 (** Requires a testbed with at least 2 VMs for [`NatX], [`Overlay] and
-    [`Hostlo]. *)
+    [`Hostlo].  [standby] (default 0; [`Hostlo] only, ignored by the
+    other modes) sizes the CNI plugin's pre-provisioned endpoint pool
+    ({!Hostlo.make_config}) and warms it for both fractions once the
+    pod is up, so reschedules claim a banked endpoint instead of a QMP
+    hot-plug.  Raises [Invalid_argument] when negative. *)

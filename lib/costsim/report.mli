@@ -4,6 +4,13 @@ type outcome = {
   user_id : int;
   kube_cost : float;      (** $/h under whole-pod scheduling. *)
   hostlo_cost : float;    (** $/h after the Hostlo pass. *)
+  hostlo_standby_cost : float;
+      (** $/h with [standby_depth] pooled endpoints pinned per
+          (VM, split pod) — the memory the Hostlo CNI's standby pool
+          holds for QMP-free failover, priced by re-buying any VM the
+          pool pushes over its model's capacity.  Equals [hostlo_cost]
+          at depth 0. *)
+  split_pods : int;       (** Pods with containers on more than one VM. *)
   kube_vms : int;
   hostlo_vms : int;
   saving : float;         (** $/h saved (>= 0). *)
@@ -20,10 +27,24 @@ type summary = {
   max_abs_saving_rel : float;         (** Paper: ~35 %. *)
   total_kube_cost : float;
   total_hostlo_cost : float;
+  total_standby_cost : float;
+  total_split_pods : int;
 }
 
-val evaluate_user : Nest_traces.Trace.user -> outcome
-val evaluate : Nest_traces.Trace.user list -> outcome list
+val default_ep_mem : float
+(** 4 MiB per pooled endpoint, in the trace's relative memory units
+    (fractions of the 24xlarge's 384 GB). *)
+
+val evaluate_user :
+  ?standby_depth:int -> ?standby_ep_mem:float -> Nest_traces.Trace.user ->
+  outcome
+(** [standby_depth] (default 0) pooled endpoints are pinned per
+    (VM, split pod), [standby_ep_mem] ({!default_ep_mem}) relative
+    memory each; the pool is priced into [hostlo_standby_cost]. *)
+
+val evaluate :
+  ?standby_depth:int -> ?standby_ep_mem:float ->
+  Nest_traces.Trace.user list -> outcome list
 val summarize : outcome list -> summary
 
 val savings_histogram : outcome list -> bins:int -> (float * float * int) list

@@ -64,13 +64,29 @@ let setup sd ns =
           (Printf.sprintf "fig_cluster: node %d deployment stuck" n.n_ix))
     ns
 
-let wire_ring sd ns ~shards =
+(* With a named link profile the wire's base latency is the profile's
+   one-way delay and each direction gets its own loss/jitter impairment.
+   Impairment streams are keyed on (root seed, link index, direction) —
+   never on placement — and all their draws happen inside the sending
+   gateway's event on that direction's source shard, so the profile
+   keeps the determinism contract. *)
+let wire_ring sd ns ~shards ~seed ?profile () =
   let k = Array.length ns in
   Array.iter
     (fun n ->
       let peer = ns.((n.n_ix + 1) mod k) in
       let site =
         match !(peer.n_site) with Some s -> s | None -> assert false
+      in
+      let latency, fwd_impair, rev_impair =
+        match profile with
+        | None -> (link_latency, None, None)
+        | Some p ->
+          let dir d =
+            Nest_net.Wire.impair_of_profile p
+              ~rng:(Prng.create (node_seed seed (1000 + (2 * n.n_ix) + d)))
+          in
+          (p.Nest_net.Netem.p_delay, Some (dir 0), Some (dir 1))
       in
       ignore
         (Nest_net.Wire.udp_relay sd
@@ -80,11 +96,20 @@ let wire_ring sd ns ~shards =
              (peer.n_ix mod shards, Nest_virt.Host.ns peer.n_tb.Testbed.host)
            ~client_port:gw_client_port ~server_port:gw_server_port
            ~target:(site.Deploy.site_addr, site.Deploy.site_port)
-           ~latency:link_latency ()))
+           ~latency ?fwd_impair ?rev_impair ()))
     ns
 
-let start_drivers ns ~start ~stop =
+let start_drivers ns ~start ~stop ?profile () =
   let gw = Nest_net.Ipv4.of_string "192.168.100.1" in
+  (* The watchdog must outlast a full worst-case RTT (two wire crossings
+     plus jitter each way), else slow profiles count every reply lost. *)
+  let resend_timeout =
+    match profile with
+    | None -> Time.ms 10
+    | Some p ->
+      max (Time.ms 10)
+        (4 * (p.Nest_net.Netem.p_delay + p.Nest_net.Netem.p_jitter))
+  in
   Array.iter
     (fun n ->
       let tb = n.n_tb in
@@ -96,7 +121,7 @@ let start_drivers ns ~start ~stop =
         Some
           (Netperf.udp_rr_driver tb ~cl_ns:tb.Testbed.client_ns ~cl_exec
              ~target:(fun () -> Some (gw, gw_client_port))
-             ~msg_size ~start ~stop ()))
+             ~msg_size ~resend_timeout ~start ~stop ()))
     ns
 
 (* The digest folds each node's full observable outcome — attempt and
@@ -117,7 +142,8 @@ let digest_of ns =
     ns;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let run_scenario ?(nodes = 4) ?shards ?(domains = 1) ?(seed = 42L) ~quick () =
+let run_scenario ?(nodes = 4) ?shards ?(domains = 1) ?(seed = 42L) ?profile
+    ~quick () =
   let shards =
     match shards with Some s -> s | None -> Testbed.get_default_shards ()
   in
@@ -125,26 +151,35 @@ let run_scenario ?(nodes = 4) ?shards ?(domains = 1) ?(seed = 42L) ~quick () =
   let d = Exp_util.durations ~quick in
   let sd, ns = build ~nodes ~shards ~seed () in
   setup sd ns;
-  wire_ring sd ns ~shards;
+  wire_ring sd ns ~shards ~seed ?profile ();
   let start = Time.sec 1 + d.Exp_util.warmup in
   let stop = start + d.Exp_util.measure in
-  start_drivers ns ~start ~stop;
+  start_drivers ns ~start ~stop ?profile ();
   (* Past [stop] nothing sends, so one watchdog period of margin drains
      in-flight transactions deterministically. *)
-  Sharded.run ~until:(stop + Time.ms 20) ~domains sd;
+  let margin =
+    match profile with
+    | None -> Time.ms 20
+    | Some p ->
+      Time.ms 20 + (8 * (p.Nest_net.Netem.p_delay + p.Nest_net.Netem.p_jitter))
+  in
+  Sharded.run ~until:(stop + margin) ~domains sd;
   (sd, ns)
 
-let digest ?nodes ?shards ?domains ?seed ~quick () =
-  let _, ns = run_scenario ?nodes ?shards ?domains ?seed ~quick () in
+let digest ?nodes ?shards ?domains ?seed ?profile ~quick () =
+  let _, ns = run_scenario ?nodes ?shards ?domains ?seed ?profile ~quick () in
   digest_of ns
 
-let run ?nodes ?shards ?domains ?seed ~quick () =
-  let sd, ns = run_scenario ?nodes ?shards ?domains ?seed ~quick () in
+let run ?nodes ?shards ?domains ?seed ?profile ~quick () =
+  let sd, ns = run_scenario ?nodes ?shards ?domains ?seed ?profile ~quick () in
   Exp_util.header
     (Printf.sprintf
-       "Cluster: cross-node UDP_RR ring (%d nodes, %d shards, %d domains)"
+       "Cluster: cross-node UDP_RR ring (%d nodes, %d shards, %d domains%s)"
        (Array.length ns) (Sharded.shards sd)
-       (match domains with Some d -> d | None -> 1));
+       (match domains with Some d -> d | None -> 1)
+       (match profile with
+       | None -> ""
+       | Some p -> ", link " ^ p.Nest_net.Netem.p_name));
   Array.iter
     (fun n ->
       let d = match n.n_driver with Some d -> d | None -> assert false in
@@ -165,12 +200,12 @@ let run ?nodes ?shards ?domains ?seed ~quick () =
   Exp_util.row "";
   Exp_util.print_shard_table sd
 
-let check ?(nodes = 4) ?(seed = 42L) ~quick () =
+let check ?(nodes = 4) ?(seed = 42L) ?profile ~quick () =
   let configs = [ (1, 1); (2, 1); (2, 2); (4, 2) ] in
   let digests =
     List.map
       (fun (shards, domains) ->
-        let dg = digest ~nodes ~shards ~domains ~seed ~quick () in
+        let dg = digest ~nodes ~shards ~domains ~seed ?profile ~quick () in
         ((shards, domains), dg))
       configs
   in

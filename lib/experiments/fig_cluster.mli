@@ -14,26 +14,37 @@ val run :
   ?shards:int ->
   ?domains:int ->
   ?seed:int64 ->
+  ?profile:Nest_net.Netem.profile ->
   quick:bool ->
   unit ->
   unit
 (** Prints the per-node transaction table, the cross-node digest, and
     the per-shard progress table.  [shards] defaults to the CLI's
     [--shards] ({!Nestfusion.Testbed.get_default_shards}); [domains] to
-    1. *)
+    1.  [profile] replaces the default 50 µs inter-node links with a
+    named {!Nest_net.Netem.profile}: the profile's delay becomes the
+    wire latency (and lookahead) and per-direction loss/jitter
+    impairments are applied, deterministically for any shard split. *)
 
 val digest :
   ?nodes:int ->
   ?shards:int ->
   ?domains:int ->
   ?seed:int64 ->
+  ?profile:Nest_net.Netem.profile ->
   quick:bool ->
   unit ->
   string
 (** MD5 over every node's (sent, lost, completion trace) — the
     determinism witness: must not depend on [shards] or [domains]. *)
 
-val check : ?nodes:int -> ?seed:int64 -> quick:bool -> unit -> bool
+val check :
+  ?nodes:int ->
+  ?seed:int64 ->
+  ?profile:Nest_net.Netem.profile ->
+  quick:bool ->
+  unit ->
+  bool
 (** CI smoke: digests at shards 1, 2 and 4 (the latter two also with
     [domains = 2]) must all match; prints one line per configuration.
     Returns false on any mismatch. *)

@@ -30,7 +30,9 @@ let fig9 ~quick =
         let c, rest = take chunk [] l in
         c :: chunks rest
     in
-    Exp_util.Par.map (List.map Report.evaluate_user) (chunks trace)
+    Exp_util.Par.map
+      (List.map (Report.evaluate_user ~standby_depth:2))
+      (chunks trace)
     |> List.concat
   in
   let summary = Report.summarize outcomes in
@@ -52,4 +54,8 @@ let fig9 ~quick =
     (Printf.sprintf "%.1f%%" (100.0 *. summary.Report.max_rel_saving));
   Exp_util.kv "largest saver (paper: ~237 $/h, a ~35% reduction)"
     (Printf.sprintf "%.2f $/h (%.1f%%)" summary.Report.max_abs_saving
-       (100.0 *. summary.Report.max_abs_saving_rel))
+       (100.0 *. summary.Report.max_abs_saving_rel));
+  Exp_util.kv "standby pool premium (depth 2, 4 MiB/endpoint)"
+    (Printf.sprintf "%.2f $/h over %d split pods"
+       (summary.Report.total_standby_cost -. summary.Report.total_hostlo_cost)
+       summary.Report.total_split_pods)

@@ -1,0 +1,51 @@
+(** Fleet-scale trace replay under open-loop load.
+
+    [nodes] single-node testbeds on {!Nest_sim.Sharded}, each running
+    one of the paper's deployment modes round-robin (NAT, BrFusion,
+    Hostlo — the last as an intra-pod pair with a warm standby pool):
+    the heterogeneous fleet.  Every node carries an open-loop
+    {!Nest_loadgen.Loadgen} — Poisson or constant arrivals, heavy-tailed
+    sizes, intended-start timestamping — against its service: NAT and
+    BrFusion nodes are wired in a ring through {!Nest_net.Wire} relays
+    (optionally under a named {!Nest_net.Netem.profile} with per-link
+    loss/jitter, and optional link-flap fault plans); Hostlo nodes drive
+    their pod-local service over the multiplexed host loopback.
+    Meanwhile a {!Nest_traces.Trace_gen} cluster trace is replayed
+    {e live} through the scheduler on a control-plane shard: pods arrive
+    continuously over the measurement window, are placed by
+    most-requested priority fleet-wide, live out exponential lifetimes
+    and depart — churn under load, with unschedulable arrivals counted.
+
+    Reports per-mode fleet SLO compliance and merged HDR latency
+    percentiles (p50/p99/p999); the digest over every node's counts and
+    completion trace plus the churn outcome is byte-identical for any
+    [--shards]/[--domains] split. *)
+
+type params = {
+  nodes : int;        (** Fleet size (default 8). *)
+  pods : int;         (** Trace pods replayed through the scheduler (default 200). *)
+  rate : float;       (** Fleet-wide open-loop arrival rate, req/s (default 2000). *)
+  arrival : [ `Poisson | `Constant ];  (** Arrival process (default Poisson). *)
+  profile : Nest_net.Netem.profile option;  (** Inter-node link profile. *)
+  fault_rate : float; (** Per-link-direction flap probability (default 0). *)
+  standby : int;      (** Hostlo standby pool depth (default 0). *)
+  seed : int64;
+}
+
+val default_params : params
+
+val run :
+  ?params:params -> ?shards:int -> ?domains:int -> quick:bool -> unit -> unit
+(** Runs the scenario and prints per-node rows, per-mode SLO/HDR
+    tables, the churn outcome, the digest and the shard table. *)
+
+val digest :
+  ?params:params -> ?shards:int -> ?domains:int -> quick:bool -> unit ->
+  string
+(** MD5 over every node's (mode, counts, completion trace) and the
+    churn outcome — must not depend on [shards] or [domains]. *)
+
+val check : ?params:params -> quick:bool -> unit -> bool
+(** Determinism guard: digests at (shards, domains) in
+    {[(1,1); (2,1); (4,2); (4,4)]} (shards clamped to the fleet size)
+    must all match; prints one line per configuration. *)

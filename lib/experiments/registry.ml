@@ -75,7 +75,10 @@ let ablations =
       run = (fun ~quick -> Fig_chaos.run ~quick ()) };
     { id = "cluster";
       description = "Cross-node UDP_RR ring on the sharded engine";
-      run = (fun ~quick -> Fig_cluster.run ~quick ()) } ]
+      run = (fun ~quick -> Fig_cluster.run ~quick ()) };
+    { id = "fleet";
+      description = "Fleet-scale trace replay under open-loop load";
+      run = (fun ~quick -> Fig_fleet.run ~quick ()) } ]
 
 let find id = List.find_opt (fun e -> e.id = id) (all @ ablations)
 let ids () = List.map (fun e -> e.id) (all @ ablations)

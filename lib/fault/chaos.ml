@@ -90,6 +90,8 @@ type outcome = {
   o_invariants : string list; (* Vmm.check_invariants (must be empty) *)
   o_slo : Slo.compliance list; (* per-objective windowed compliance *)
   o_slo_lat : Hdr.t;        (* completion-latency sketch (µs), mergeable *)
+  o_skew_p99_us : float;    (* coordinated-omission send skew, p99 µs *)
+  o_co_flagged : bool;      (* skew p99 exceeded the SLO window *)
   o_timeline : (Time.ns * string) list;
 }
 
@@ -448,23 +450,36 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
   Testbed.run_until tb horizon;
 
   (* ---- harvest (snapshot before draining) ---- *)
-  let sent_count, replies, lat_completions, _wl_lost =
+  let sent_count, replies, lat_completions, _wl_lost, skew_p99 =
     match workload with
-    | Probe -> (!sent, List.rev !recv_times, [], 0)
+    | Probe -> (!sent, List.rev !recv_times, [], 0, 0.)
     | Rr -> (
       match !rr_driver with
-      | None -> (0, [], [], 0)
+      | None -> (0, [], [], 0, 0.)
       | Some d ->
         let cs = d.Netperf.rrd_completions () in
-        (d.Netperf.rrd_sent (), List.map fst cs, cs, d.Netperf.rrd_lost ()))
+        (d.Netperf.rrd_sent (), List.map fst cs, cs, d.Netperf.rrd_lost (),
+         Hdr.percentile (d.Netperf.rrd_skew ()) 99.0))
     | Mc -> (
       match !mc_driver with
-      | None -> (0, [], [], 0)
+      | None -> (0, [], [], 0, 0.)
       | Some d ->
         let cs = d.Memcached.mcd_completions () in
         (d.Memcached.mcd_sent (), List.map fst cs, cs,
-         d.Memcached.mcd_dropped ()))
+         d.Memcached.mcd_dropped (),
+         Hdr.percentile (d.Memcached.mcd_skew ()) 99.0))
   in
+  (* A closed loop whose send-time skew outgrows the SLO evaluation
+     window has been wedged for longer than one whole reporting
+     interval: its completion latencies describe only the requests it
+     deigned to send, so mark the cell's latency figures as
+     coordinated-omission suspects. *)
+  let co_window_us =
+    List.fold_left
+      (fun acc s -> Float.min acc (Time.to_us_f s.Slo.window))
+      infinity slo_specs
+  in
+  let co_flagged = skew_p99 > co_window_us in
   let crashes = List.rev !crash_times in
   let last_up = match !service_up with [] -> 0 | t :: _ -> t in
   let recovered, unrecovered =
@@ -549,6 +564,8 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
     o_invariants = invariants;
     o_slo = Slo.report slo;
     o_slo_lat = Slo.latency slo;
+    o_skew_p99_us = skew_p99;
+    o_co_flagged = co_flagged;
     o_timeline = Injector.timeline inj;
   }
 
@@ -589,6 +606,8 @@ let render o =
     (Printf.sprintf "slo_lat n=%d p50=%.3f p99=%.3f\n" (Hdr.count o.o_slo_lat)
        (Hdr.percentile o.o_slo_lat 50.0)
        (Hdr.percentile o.o_slo_lat 99.0));
+  Buffer.add_string b
+    (Printf.sprintf "skew p99=%.3f co=%b\n" o.o_skew_p99_us o.o_co_flagged);
   List.iter
     (fun r -> Buffer.add_string b (Printf.sprintf "rec %.6f\n" r))
     o.o_recovered;
@@ -612,12 +631,15 @@ let pp_outcome fmt o =
     o.o_rec_p99_ms
     (List.length o.o_recovered)
     o.o_crashes;
-  if not (String.equal o.o_workload "probe") then
+  if not (String.equal o.o_workload "probe") then begin
     Format.fprintf fmt
       " | goodput %.0f op/s lat p50 %.0f p99 %.0f us post p50 %.0f p99 %.0f \
        us"
       o.o_goodput o.o_lat_p50_us o.o_lat_p99_us o.o_post_p50_us
       o.o_post_p99_us;
+    Format.fprintf fmt " skew p99 %.0f us%s" o.o_skew_p99_us
+      (if o.o_co_flagged then " [COORDINATED OMISSION]" else "")
+  end;
   (match o.o_slo with
   | [] -> ()
   | slos ->

@@ -76,6 +76,14 @@ type outcome = {
       (** Run-wide completion-latency sketch (µs) from the SLO monitor;
           merge across cells ({!Nest_sim.Hdr.merge_into}) for fleet
           percentiles. *)
+  o_skew_p99_us : float;
+      (** p99 of the workload driver's coordinated-omission ledger:
+          actual minus intended send time, µs (0 for probe cells). *)
+  o_co_flagged : bool;
+      (** Skew p99 exceeded the smallest SLO evaluation window — the
+          closed loop was wedged for at least one whole reporting
+          interval, so treat the completion-latency figures as
+          survivors' statistics. *)
   o_timeline : (Nest_sim.Time.ns * string) list;
 }
 

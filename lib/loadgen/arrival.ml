@@ -1,0 +1,46 @@
+module Time = Nest_sim.Time
+
+type t = {
+  a_next : unit -> Time.ns option;
+  a_total : int option;
+}
+
+let next t = t.a_next ()
+let total t = t.a_total
+
+let constant ~rate_per_s =
+  if rate_per_s <= 0.0 then invalid_arg "Arrival.constant: rate must be > 0";
+  let period = 1e9 /. rate_per_s in
+  let k = ref 0 in
+  { a_next =
+      (fun () ->
+        incr k;
+        Some (int_of_float (Float.round (float_of_int !k *. period))));
+    a_total = None }
+
+let poisson ~rng ~rate_per_s =
+  if rate_per_s <= 0.0 then invalid_arg "Arrival.poisson: rate must be > 0";
+  let mean = 1e9 /. rate_per_s in
+  (* Absolute offsets accumulate in float; rounding a monotone sum keeps
+     the offsets monotone (ties are legal). *)
+  let acc = ref 0.0 in
+  { a_next =
+      (fun () ->
+        acc := !acc +. Nest_sim.Dist.exponential rng ~mean;
+        Some (int_of_float (Float.round !acc)));
+    a_total = None }
+
+let of_trace ~users ~over =
+  if over <= 0 then invalid_arg "Arrival.of_trace: over must be > 0";
+  let n =
+    List.fold_left (fun a u -> a + Nest_traces.Trace.user_pods u) 0 users
+  in
+  let i = ref 0 in
+  { a_next =
+      (fun () ->
+        if !i >= n then None
+        else begin
+          incr i;
+          Some (!i * over / n)
+        end);
+    a_total = Some n }

@@ -1,0 +1,159 @@
+(* Open-loop load generator.  See loadgen.mli.
+
+   The arrival chain is lazy: exactly one arrival event is pending at a
+   time, and firing it pulls the next offset from the process.  Nothing
+   is materialized up front, so an infinite rate process costs one heap
+   entry, and a schedule ending past [stop] stops pulling. *)
+
+module Engine = Nest_sim.Engine
+module Time = Nest_sim.Time
+
+type counts = {
+  offered : int;
+  admitted : int;
+  shed : int;
+  lost : int;
+  completed : int;
+}
+
+type t = {
+  g_engine : Engine.t;
+  g_label : string;
+  g_arrival : Arrival.t;
+  g_sizes : Size_dist.t;
+  g_rng : Nest_sim.Prng.t;
+  g_max_outstanding : int;
+  g_timeout : Time.ns;
+  g_slo : Nest_sim.Slo.t option;
+  g_dispatch : seq:int -> size:int -> unit;
+  g_start : Time.ns;
+  g_stop : Time.ns;
+  (* seq -> intended start; presence means in flight. *)
+  g_intended : (int, Time.ns) Hashtbl.t;
+  g_latency : Nest_sim.Hdr.t;
+  mutable g_offered : int;
+  mutable g_admitted : int;
+  mutable g_shed : int;
+  mutable g_lost : int;
+  mutable g_completed : int;
+  mutable g_outstanding : int;
+  mutable g_seq : int;
+  mutable g_completions : (Time.ns * float) list;
+}
+
+let slo_sent t =
+  match t.g_slo with Some s -> Nest_sim.Slo.observe_sent s | None -> ()
+
+let slo_done t us =
+  match t.g_slo with
+  | Some s ->
+    Nest_sim.Slo.observe_ok s;
+    Nest_sim.Slo.observe_latency s us
+  | None -> ()
+
+let arrive t =
+  t.g_offered <- t.g_offered + 1;
+  (* Shed arrivals still count as offered toward the SLO: refusing work
+     burns availability; it must never look like absent demand. *)
+  slo_sent t;
+  if t.g_outstanding >= t.g_max_outstanding then t.g_shed <- t.g_shed + 1
+  else begin
+    t.g_admitted <- t.g_admitted + 1;
+    t.g_seq <- t.g_seq + 1;
+    let seq = t.g_seq in
+    let size = Size_dist.draw t.g_sizes t.g_rng in
+    Hashtbl.replace t.g_intended seq (Engine.now t.g_engine);
+    t.g_outstanding <- t.g_outstanding + 1;
+    t.g_dispatch ~seq ~size;
+    Engine.schedule t.g_engine ~label:"loadgen:timeout" ~delay:t.g_timeout
+      (fun () ->
+        if Hashtbl.mem t.g_intended seq then begin
+          Hashtbl.remove t.g_intended seq;
+          t.g_lost <- t.g_lost + 1;
+          t.g_outstanding <- t.g_outstanding - 1
+        end)
+  end
+
+let rec schedule_next t =
+  match Arrival.next t.g_arrival with
+  | None -> ()
+  | Some off ->
+    let at = t.g_start + off in
+    if at < t.g_stop then
+      Engine.schedule_at t.g_engine ~label:"loadgen:arrival" ~at (fun () ->
+          arrive t;
+          schedule_next t)
+
+let create ~engine ?(label = "loadgen") ~arrival ~sizes ~rng
+    ?(max_outstanding = 64) ?(timeout = Time.ms 100) ?slo ~dispatch ~start
+    ~stop () =
+  if max_outstanding <= 0 then
+    invalid_arg "Loadgen.create: max_outstanding must be > 0";
+  if timeout <= 0 then invalid_arg "Loadgen.create: timeout must be > 0";
+  if stop <= start then invalid_arg "Loadgen.create: stop must be > start";
+  let t =
+    { g_engine = engine; g_label = label; g_arrival = arrival;
+      g_sizes = sizes; g_rng = rng; g_max_outstanding = max_outstanding;
+      g_timeout = timeout; g_slo = slo; g_dispatch = dispatch;
+      g_start = start; g_stop = stop; g_intended = Hashtbl.create 128;
+      g_latency = Nest_sim.Hdr.create ~name:(label ^ ":latency_us") ();
+      g_offered = 0; g_admitted = 0; g_shed = 0; g_lost = 0;
+      g_completed = 0; g_outstanding = 0; g_seq = 0; g_completions = [] }
+  in
+  schedule_next t;
+  t
+
+let complete t ~seq =
+  match Hashtbl.find_opt t.g_intended seq with
+  | None -> ()  (* stale: timed out already, or a duplicate reply *)
+  | Some intended ->
+    Hashtbl.remove t.g_intended seq;
+    t.g_outstanding <- t.g_outstanding - 1;
+    t.g_completed <- t.g_completed + 1;
+    let now = Engine.now t.g_engine in
+    let us = Time.to_us_f (now - intended) in
+    Nest_sim.Hdr.add t.g_latency us;
+    t.g_completions <- (now, us) :: t.g_completions;
+    slo_done t us
+
+let counts t =
+  { offered = t.g_offered; admitted = t.g_admitted; shed = t.g_shed;
+    lost = t.g_lost; completed = t.g_completed }
+
+let latency t = t.g_latency
+let completions t = List.rev t.g_completions
+let label t = t.g_label
+
+(* ---- UDP frontend ---- *)
+
+type Nest_net.Payload.app_msg += Lg_req of { gen : int; seq : int }
+
+(* Same thin-loop application costs as the netperf drivers. *)
+let app_send_cost_ns = 180
+let app_recv_cost_ns = 250
+
+let udp ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?timeout ?slo
+    ~gen_id ~ns ~exec ~target ~start ~stop () =
+  let sock = ref None in
+  let dispatch ~seq ~size =
+    match (!sock, target ()) with
+    | Some sk, Some (ip, port) ->
+      Nest_sim.Exec.submit exec ~cost:app_send_cost_ns (fun () ->
+          Nest_net.Stack.Udp.sendto sk ~dst:ip ~dst_port:port
+            (Nest_net.Payload.make ~size (Lg_req { gen = gen_id; seq })))
+    | _ -> ()  (* unreachable service: the admission timeout counts it *)
+  in
+  let t =
+    create ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?timeout ?slo
+      ~dispatch ~start ~stop ()
+  in
+  let sk =
+    Nest_net.Stack.Udp.bind ns ~port:0 (fun _ ~src:_ payload ->
+        match payload.Nest_net.Payload.msg with
+        | Some (Lg_req { gen; seq }) when gen = gen_id ->
+          complete t ~seq;
+          Nest_sim.Exec.submit exec ~cost:app_recv_cost_ns (fun () -> ())
+        | _ -> ())
+  in
+  sock := Some sk;
+  t

@@ -52,6 +52,34 @@ let remove t =
   t.active <- false;
   Dev.set_tx t.dev t.original_tx
 
+type profile = {
+  p_name : string;
+  p_delay : Nest_sim.Time.ns;
+  p_jitter : Nest_sim.Time.ns;
+  p_loss : float;
+  p_limit : int option;
+}
+
+let us = Nest_sim.Time.us
+let ms = Nest_sim.Time.ms
+
+let profiles =
+  [ { p_name = "datacenter"; p_delay = us 25; p_jitter = us 5; p_loss = 0.0;
+      p_limit = None };
+    { p_name = "wan"; p_delay = ms 10; p_jitter = ms 1; p_loss = 0.001;
+      p_limit = None };
+    { p_name = "edge"; p_delay = ms 30; p_jitter = ms 5; p_loss = 0.005;
+      p_limit = None };
+    { p_name = "lossy"; p_delay = ms 5; p_jitter = ms 2; p_loss = 0.02;
+      p_limit = Some 64 } ]
+
+let profile name = List.find_opt (fun p -> String.equal p.p_name name) profiles
+let profile_names () = List.map (fun p -> p.p_name) profiles
+
+let shape_profile engine dev p ~rng =
+  shape engine dev ~loss:p.p_loss ~delay_ns:p.p_delay ~jitter_ns:p.p_jitter
+    ?limit:p.p_limit ~rng ()
+
 let passed t = t.passed
 let dropped_loss t = t.dropped_loss
 let dropped_overflow t = t.dropped_overflow

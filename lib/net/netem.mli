@@ -29,3 +29,31 @@ val remove : t -> unit
 val passed : t -> int
 val dropped_loss : t -> int
 val dropped_overflow : t -> int
+
+(** {2 Named link profiles}
+
+    The degraded-network matrix (n3x-style tc profiles): each profile
+    bundles one-way delay, jitter, loss probability and a queue limit
+    under a stable name, usable both for {!shape} on a device and as
+    per-link wire latencies in the [fleet]/[cluster] scenarios (the
+    profile's [p_delay] becomes the conservative lookahead; jitter and
+    loss are applied per datagram by the wire's impairment stage). *)
+
+type profile = {
+  p_name : string;
+  p_delay : Nest_sim.Time.ns;   (** One-way added delay. *)
+  p_jitter : Nest_sim.Time.ns;  (** Uniform extra jitter on top. *)
+  p_loss : float;               (** Per-frame drop probability. *)
+  p_limit : int option;         (** Egress queue bound (tail drop). *)
+}
+
+val profiles : profile list
+(** [datacenter] (25 µs ± 5 µs, lossless), [wan] (10 ms ± 1 ms, 0.1 %),
+    [edge] (30 ms ± 5 ms, 0.5 %), [lossy] (5 ms ± 2 ms, 2 %, limit 64). *)
+
+val profile : string -> profile option
+val profile_names : unit -> string list
+
+val shape_profile :
+  Nest_sim.Engine.t -> Dev.t -> profile -> rng:Nest_sim.Prng.t -> t
+(** {!shape} with the profile's parameters. *)

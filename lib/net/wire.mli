@@ -18,6 +18,35 @@
 
 type t
 
+type impair
+(** Per-direction wire impairment: probabilistic loss and uniform extra
+    jitter on top of the base latency, plus an administrative down flag
+    (link flaps).  Every random draw happens inside the sending
+    gateway's event — on the direction's {e source} shard — so impaired
+    wires stay deterministic for any shard/domain split.  One [impair]
+    value must only ever be used by one direction for the same reason:
+    its PRNG stream and down flag are owned by that shard. *)
+
+val impair :
+  ?loss:float -> ?jitter:Nest_sim.Time.ns -> rng:Nest_sim.Prng.t -> unit ->
+  impair
+(** [loss] (default 0) per-datagram drop probability; [jitter] (default
+    0) uniform extra delay in [0, jitter] added to the base latency —
+    delivery stays [>= lookahead], so the conservative promise holds. *)
+
+val impair_of_profile :
+  Netem.profile -> rng:Nest_sim.Prng.t -> impair
+(** Loss and jitter from a named link profile (the profile's delay is
+    the wire's base [latency], chosen by the caller). *)
+
+val set_down : impair -> bool -> unit
+(** Administrative link flap: while down, every datagram in this
+    direction is dropped.  Call only from events on the direction's
+    source shard. *)
+
+val impair_dropped : impair -> int
+(** Datagrams dropped by loss or down state in this direction. *)
+
 val udp_relay :
   Nest_sim.Sharded.t ->
   client_side:int * Stack.ns ->
@@ -26,6 +55,8 @@ val udp_relay :
   server_port:int ->
   target:Ipv4.t * int ->
   latency:Nest_sim.Time.ns ->
+  ?fwd_impair:impair ->
+  ?rev_impair:impair ->
   unit ->
   t
 (** [udp_relay sd ~client_side:(shard, ns) ~server_side:(shard', ns') ...]

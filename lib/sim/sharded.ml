@@ -280,6 +280,7 @@ let run_horizon_parallel t ~horizon ~domains =
     done;
     let mine = !mine in
     let all_done = ref false in
+    let idle = ref 0 in
     while not !all_done do
       let progress = ref false and dn = ref true in
       List.iter
@@ -290,9 +291,17 @@ let run_horizon_parallel t ~horizon ~domains =
           end)
         mine;
       all_done := !dn;
-      if (not !all_done) && not !progress then
-        (* Our shards are waiting on another domain's publishes. *)
-        Domain.cpu_relax ()
+      if (not !all_done) && not !progress then begin
+        (* Our shards are waiting on another domain's publishes.  Spin
+           briefly — a working neighbour usually publishes within a few
+           polls — then back off to real sleeps so oversubscribed hosts
+           (domains > cores) yield the core to the domain being waited
+           on instead of burning its timeslice busy-polling. *)
+        incr idle;
+        if !idle <= 200 then Domain.cpu_relax ()
+        else Unix.sleepf (Float.min 1e-4 (float_of_int (!idle - 200) *. 1e-6))
+      end
+      else idle := 0
     done
   in
   let others = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in

@@ -145,6 +145,7 @@ type mc_driver = {
   mcd_dropped : unit -> int;
   mcd_completions : unit -> (Time.ns * float) list;
   mcd_resume : unit -> unit;
+  mcd_skew : unit -> Nest_sim.Hdr.t;
 }
 
 let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
@@ -165,7 +166,15 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
       Nest_sim.Slo.observe_latency s us
     | None -> ()
   in
-  let suspended = ref 0 in
+  (* Coordinated-omission ledger (wrk2): each send records how late it
+     left relative to when a prompt loop would have issued it.  A
+     suspension remembers *when* the loop parked, so the whole outage —
+     strikes, the parked wait, the reconnect handshake — lands in the
+     first post-resume send's skew rather than vanishing from the
+     record the way it does from the completion latencies. *)
+  let skew = Nest_sim.Hdr.create ~name:"mc:skew_us" () in
+  let suspended = ref [] in
+  let suspend () = suspended := Engine.now engine :: !suspended in
   let next_id = ref 0 in
   (* Bumped by every [mcd_resume].  A connection remembers the epoch it
      was born under; giving up in a *later* epoch means the service was
@@ -173,26 +182,30 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
      generation — reconnect at once instead of suspending, or the resume
      edge (which already passed) would never be seen again. *)
   let epoch = ref 0 in
-  let rec start_conn () =
+  let rec start_conn ?intended () =
     if Engine.now engine >= stop then ()
     else
       match target () with
-      | None -> incr suspended
+      | None -> suspend ()
       | Some (addr, port) ->
+        let intent0 =
+          match intended with Some t -> t | None -> Engine.now engine
+        in
         let my_epoch = !epoch in
         let established = ref false in
         let awaiting = ref 0 in
         let strikes = ref 0 in
         let gone = ref false in
+        let last_send = ref intent0 in
         let give_up conn =
           if not !gone then begin
             gone := true;
             (try Stack.Tcp.close conn with _ -> ());
             if Engine.now engine < stop then
-              if !epoch > my_epoch then start_conn () else incr suspended
+              if !epoch > my_epoch then start_conn () else suspend ()
           end
         in
-        let rec new_request conn =
+        let rec new_request ~intended conn =
           if Engine.now engine >= stop || !gone then ()
           else begin
             incr next_id;
@@ -207,13 +220,17 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
             slo_sent ();
             awaiting := id;
             App.Pool.submit client_pool ~cost:client_cost_ns (fun () ->
+                let now = Engine.now engine in
+                Nest_sim.Hdr.add skew
+                  (Float.max 0. (Time.to_us_f (now - intended)));
+                last_send := now;
                 if (not !gone) && not (Stack.Tcp.is_closed conn) then
                   (* Raw send, not [App.send_all]: with the server dead
                      nothing drains the socket, so backpressure is
                      survival information here, not a protocol bug. *)
                   ignore
                     (Stack.Tcp.send conn ~size:bytes
-                       ~msg:(Mc_request { op; id; t0 = Engine.now engine })
+                       ~msg:(Mc_request { op; id; t0 = now })
                        ()));
             Engine.schedule engine ~label:"mc:watchdog" ~delay:op_timeout
               (fun () ->
@@ -223,7 +240,8 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
                   awaiting := 0;
                   if !strikes >= 2 || Stack.Tcp.is_closed conn then
                     give_up conn
-                  else new_request conn
+                  else
+                    new_request ~intended:(!last_send + client_cost_ns) conn
                 end)
           end
         in
@@ -242,10 +260,13 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
                         let us = Time.to_us_f (Engine.now engine - t0) in
                         completions := (Engine.now engine, us) :: !completions;
                         slo_done us;
-                        if Engine.now engine < stop then new_request conn
+                        if Engine.now engine < stop then
+                          new_request
+                            ~intended:(Engine.now engine + client_cost_ns)
+                            conn
                       | _ -> ())
                     msgs);
-              new_request conn)
+              new_request ~intended:intent0 conn)
             ()
         in
         (* A SYN into a dead VM never completes the handshake.  The
@@ -258,11 +279,9 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
   in
   let resume () =
     incr epoch;
-    let n = !suspended in
-    suspended := 0;
-    for _ = 1 to n do
-      start_conn ()
-    done
+    let parked = !suspended in
+    suspended := [];
+    List.iter (fun parked_at -> start_conn ~intended:parked_at ()) parked
   in
   Engine.schedule_at engine ~label:"mc:start" ~at:start (fun () ->
       for _ = 1 to conns do
@@ -271,4 +290,5 @@ let drive tb ~cl_ns ~cl_new_exec ~target ?(threads = 2) ?(conns = 4)
   { mcd_sent = (fun () -> !sent);
     mcd_dropped = (fun () -> !dropped);
     mcd_completions = (fun () -> List.rev !completions);
-    mcd_resume = resume }
+    mcd_resume = resume;
+    mcd_skew = (fun () -> skew) }

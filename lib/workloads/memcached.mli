@@ -57,6 +57,11 @@ type mc_driver = {
   mcd_resume : unit -> unit;
       (** reconnect every suspended loop — call when the service is
           known to be back (the harness's re-deploy hook) *)
+  mcd_skew : unit -> Nest_sim.Hdr.t;
+      (** Coordinated-omission ledger (wrk2): per send, actual minus
+          intended start in us.  A suspension remembers when the loop
+          parked, so the whole outage — strikes, the parked wait, the
+          reconnect — lands in the first post-resume send's skew. *)
 }
 
 val drive :

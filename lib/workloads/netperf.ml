@@ -182,6 +182,7 @@ type rr_driver = {
   rrd_sent : unit -> int;
   rrd_lost : unit -> int;
   rrd_completions : unit -> (Time.ns * float) list;
+  rrd_skew : unit -> Nest_sim.Hdr.t;
 }
 
 let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
@@ -205,8 +206,21 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
   let outstanding = ref 0 in
   let seq = ref 0 in
   let sock = ref None in
+  (* Coordinated-omission ledger (wrk2): [intended] is when this send
+     would have left the client had nothing stalled — the previous
+     completion plus the client's own per-call cost, or, after a
+     watchdog fire, the lost op's send time (the loop owed a send it
+     never made).  Skew = actual - intended; a closed loop that wedges
+     for a second shows up here even though its recorded RTTs stay
+     flat. *)
+  let skew = Nest_sim.Hdr.create ~name:"rr:skew_us" () in
+  let intended = ref start in
+  let last_send = ref start in
   let rec send_next () =
     if Engine.now engine < stop then begin
+      let now = Engine.now engine in
+      Nest_sim.Hdr.add skew (Float.max 0. (Time.to_us_f (now - !intended)));
+      last_send := now;
       incr seq;
       let s = !seq in
       outstanding := s;
@@ -223,6 +237,7 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
           if !outstanding = s then begin
             incr lost;
             outstanding := 0;
+            intended := !last_send + app_send_cost_ns;
             send_next ()
           end)
     end
@@ -235,12 +250,15 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
           let us = Time.to_us_f (Engine.now engine - t0) in
           completions := (Engine.now engine, us) :: !completions;
           slo_done us;
-          if Engine.now engine < stop then
+          if Engine.now engine < stop then begin
+            intended := Engine.now engine + app_send_cost_ns;
             Nest_sim.Exec.submit cl_exec ~cost:app_send_cost_ns send_next
+          end
         | _ -> ())
   in
   sock := Some sk;
   Engine.schedule_at engine ~label:"rr:start" ~at:start send_next;
   { rrd_sent = (fun () -> !sent);
     rrd_lost = (fun () -> !lost);
-    rrd_completions = (fun () -> List.rev !completions) }
+    rrd_completions = (fun () -> List.rev !completions);
+    rrd_skew = (fun () -> skew) }

@@ -79,6 +79,13 @@ type rr_driver = {
       (** (completion time, round-trip us) in completion order — the
           harness splits these into during-fault and post-recovery
           windows itself. *)
+  rrd_skew : unit -> Nest_sim.Hdr.t;
+      (** Coordinated-omission ledger (wrk2): per send, actual minus
+          intended start in us, where intended is the previous
+          completion plus the client's per-call cost — or, after a
+          watchdog fire, the lost op's own send time.  A loop wedged
+          behind a dead server records its stall here even though the
+          completed-RTT histogram stays flat. *)
 }
 
 val udp_rr_driver :
