@@ -167,6 +167,42 @@ let kernel_conntrack () =
     ignore (Nest_net.Conntrack.snat ct pkt ~to_ip:nat_ip)
   done
 
+(* PR-10 admission overhead: the same open-loop generator against an
+   instant-ish dispatcher under each shed policy.  The decision must be
+   O(1) per arrival — burn adds only its window ticks, codel only an
+   engine-clock read — so the in-run gate compares burn/codel against
+   the fixed-bound kernel and catches an accidental O(outstanding)
+   slip. *)
+let kernel_admission admission () =
+  let open Nest_sim in
+  let open Nest_loadgen in
+  let engine = Engine.create () in
+  let g = ref None in
+  let gen =
+    Loadgen.create ~engine
+      ~arrival:(Arrival.constant ~rate_per_s:200_000.0)
+      ~sizes:(Size_dist.Fixed 64) ~rng:(Prng.create 7L) ?admission
+      ~burn_source:(fun () -> 0.5)
+      ~dispatch:(fun ~seq ~size:_ ->
+        Engine.schedule engine ~delay:(Time.us 10) (fun () ->
+            Loadgen.complete (Option.get !g) ~seq))
+      ~start:(Time.ms 1) ~stop:(Time.ms 21) ()
+  in
+  g := Some gen;
+  Engine.run engine
+
+let kernel_admission_fixed = kernel_admission None
+
+let kernel_admission_burn =
+  kernel_admission
+    (Some (Nest_loadgen.Admission.burn ~window:(Nest_sim.Time.ms 1) ()))
+
+let kernel_admission_codel =
+  kernel_admission
+    (Some
+       (Nest_loadgen.Admission.codel ~target_us:5000.0
+          ~interval:(Nest_sim.Time.ms 1) ()))
+
 let micro_tests =
   let open Bechamel in
   [ Test.make ~name:"fig2:netperf-nat"
@@ -194,7 +230,10 @@ let micro_tests =
     Test.make ~name:"exec_queue:heap" (Staged.stage kernel_exec_queue_heap);
     Test.make ~name:"exec_queue:wheel" (Staged.stage kernel_exec_queue_wheel);
     Test.make ~name:"net:conntrack-snat" (Staged.stage kernel_conntrack);
-    Test.make ~name:"vmm:qmp-dedupe" (Staged.stage kernel_qmp_dedupe) ]
+    Test.make ~name:"vmm:qmp-dedupe" (Staged.stage kernel_qmp_dedupe);
+    Test.make ~name:"admission:fixed" (Staged.stage kernel_admission_fixed);
+    Test.make ~name:"admission:burn" (Staged.stage kernel_admission_burn);
+    Test.make ~name:"admission:codel" (Staged.stage kernel_admission_codel) ]
 
 let run_micro () =
   let open Bechamel in
@@ -556,6 +595,19 @@ let write_json ~path ~rows ~overhead ~scaling ~shard_scaling ~fleet_scaling
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n";
+  (* The admission kernels again as one named row group, so the CI gate
+     and PR-over-PR diffs do not have to fish them out of [micro]. *)
+  (match List.assoc_opt "paper/admission:fixed" rows with
+  | Some fixed ->
+    let get n = match List.assoc_opt n rows with Some v -> v | None -> nan in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"admission_overhead\": {\"fixed_ns\": %s, \"burn_ns\": %s, \
+          \"codel_ns\": %s},\n"
+         (fl fixed)
+         (fl (get "paper/admission:burn"))
+         (fl (get "paper/admission:codel")))
+  | None -> ());
   (match overhead with
   | None -> ()
   | Some (off, tm, tmp, tmps) ->
@@ -664,8 +716,7 @@ let baseline_ns ~path ~name =
   | exception Sys_error _ -> None
   | v -> v
 
-let check_baseline ~rows ~path =
-  let name = "paper/engine:1k-events" in
+let check_baseline_row ~rows ~path ~name =
   match (baseline_ns ~path ~name, List.assoc_opt name rows) with
   | None, _ ->
     Printf.printf "baseline: %s has no %s row; gate skipped\n" path name;
@@ -683,6 +734,47 @@ let check_baseline ~rows ~path =
   | Some _, _ ->
     Printf.printf "baseline: current %s estimate is n/a; gate skipped\n" name;
     true
+
+(* The event-loop primitive from the original gate, plus the PR-10
+   admission kernel (skipped cleanly against baselines that predate
+   it). *)
+let check_baseline ~rows ~path =
+  List.for_all
+    (fun name -> check_baseline_row ~rows ~path ~name)
+    [ "paper/engine:1k-events"; "paper/admission:fixed" ]
+
+(* In-run admission-overhead gate: machine-independent because both
+   sides come from the same run.  Burn and codel may pay their window
+   ticks and clock reads, but an O(outstanding) or per-arrival
+   allocation slip shows up as a ratio blowout. *)
+let admission_ratio_limit = 3.0
+
+let check_admission_overhead ~rows =
+  let get n =
+    match List.assoc_opt n rows with
+    | Some v when not (Float.is_nan v) -> Some v
+    | _ -> None
+  in
+  match get "paper/admission:fixed" with
+  | None ->
+    print_endline "admission_overhead: no fixed row; gate skipped";
+    true
+  | Some fixed ->
+    List.for_all
+      (fun name ->
+        match get name with
+        | None ->
+          Printf.printf "admission_overhead: no %s row; gate skipped\n" name;
+          true
+        | Some cur ->
+          let ratio = cur /. fixed in
+          Printf.printf
+            "admission_overhead: %s %.1f us vs fixed %.1f us (%.2fx, limit \
+             %.2fx): %s\n"
+            name (cur /. 1e3) (fixed /. 1e3) ratio admission_ratio_limit
+            (if ratio <= admission_ratio_limit then "ok" else "REGRESSION");
+          ratio <= admission_ratio_limit)
+      [ "paper/admission:burn"; "paper/admission:codel" ]
 
 let usage () =
   prerr_endline
@@ -757,6 +849,7 @@ let () =
   (match !baseline with
   | None -> ()
   | Some path -> if not (check_baseline ~rows ~path) then ok := false);
+  if not (check_admission_overhead ~rows) then ok := false;
   (* The digest identities are exact and machine-independent: always
      gated.  Speedup ratios are only gated on hosts with enough cores
      to make them meaningful (see [speedup_gated]). *)

@@ -463,7 +463,7 @@ let cluster_term =
       $ profile_arg)
 
 let fleet_cmd nodes pods rate arrival shards domains seed quick check profile
-    fault_rate standby =
+    fault_rate standby admission autoscale service_us pods_max frontier =
   if nodes <= 0 then begin
     Printf.eprintf "nestsim: --nodes must be positive (got %d)\n" nodes;
     exit 1
@@ -502,14 +502,34 @@ let fleet_cmd nodes pods rate arrival shards domains seed quick check profile
         "nestsim: unknown --arrival %S (expected poisson or constant)\n" a;
       exit 1
   in
+  if service_us <= 0.0 then begin
+    Printf.eprintf "nestsim: --service-us must be positive (got %g)\n"
+      service_us;
+    exit 1
+  end;
+  if pods_max < 1 then begin
+    Printf.eprintf "nestsim: --pods-max must be >= 1 (got %d)\n" pods_max;
+    exit 1
+  end;
+  let admission =
+    match Nest_experiments.Fig_fleet.admission_of_string admission with
+    | Some a -> a
+    | None ->
+      Printf.eprintf
+        "nestsim: unknown --admission %S (expected fixed, burn or codel)\n"
+        admission;
+      exit 1
+  in
   let profile = resolve_profile profile in
   let params =
     { Nest_experiments.Fig_fleet.nodes; pods; rate; arrival; profile;
-      fault_rate; standby; seed }
+      fault_rate; standby; admission; autoscale; service_us; pods_max; seed }
   in
   if check then begin
     if not (Nest_experiments.Fig_fleet.check ~params ~quick ()) then exit 1
   end
+  else if frontier then
+    Nest_experiments.Fig_fleet.frontier ~params ~shards ~domains ~quick ()
   else Nest_experiments.Fig_fleet.run ~params ~shards ~domains ~quick ()
 
 let fleet_term =
@@ -573,18 +593,60 @@ let fleet_term =
     Arg.(value & opt int 0
          & info [ "standby" ] ~docv:"S"
              ~doc:"Hostlo standby endpoint pool depth per (VM, pod) on the \
-                   fleet's Hostlo nodes (see $(b,chaos --standby)).")
+                   fleet's Hostlo nodes (see $(b,chaos --standby)); also \
+                   the number of warm (instant-activation) workers per \
+                   serving pod pool.")
+  in
+  let admission =
+    Arg.(value & opt string "fixed"
+         & info [ "admission" ] ~docv:"POLICY"
+             ~doc:"Client-side shed policy: $(b,fixed) (outstanding bound, \
+                   default), $(b,burn) (AIMD concurrency limit driven by \
+                   the node's latency-SLO burn rate, with hysteresis) or \
+                   $(b,codel) (deadline-aware dropping).")
+  in
+  let autoscale =
+    Arg.(value & flag
+         & info [ "autoscale" ]
+             ~doc:"Per-node pod autoscaling: each serving pool is driven \
+                   by a server-side SLO-burn controller (proportional \
+                   scale-up, cooled-down one-step scale-down with drain), \
+                   bounded by the node's static replica headroom.")
+  in
+  let service_us =
+    Arg.(value & opt float 0.25
+         & info [ "service-us" ] ~docv:"US"
+             ~doc:"Per-request service cost on a serving pod, in \
+                   microseconds.  Raise it to move the fleet's bottleneck \
+                   from the network to the pods (and give admission and \
+                   autoscaling something to fight).")
+  in
+  let pods_max =
+    Arg.(value & opt int 4
+         & info [ "pods-max" ] ~docv:"K"
+             ~doc:"Per-node serving-pool ceiling; the effective maximum is \
+                   further clamped by the node's remaining capacity at \
+                   setup (Autopilot replica headroom).")
+  in
+  let frontier =
+    Arg.(value & flag
+         & info [ "frontier" ]
+             ~doc:"Shedding-vs-scaling sweep: degraded link profiles (wan, \
+                   lossy, flaky) crossed with the admission x autoscaling \
+                   grid; one row per (link, control, mode).")
   in
   let doc =
     "Fleet-scale trace replay: open-loop load generation (intended-start \
-     timestamping, bounded-concurrency admission) across a heterogeneous \
-     sharded fleet, with a live cluster-trace churning through the \
-     scheduler — per-mode SLO compliance and merged HDR percentiles."
+     timestamping, pluggable SLO-burn admission control) across a \
+     heterogeneous sharded fleet with per-node pod autoscaling, plus a \
+     live cluster-trace churning through the scheduler — per-mode SLO \
+     compliance and merged HDR percentiles."
   in
   Cmd.v (Cmd.info "fleet" ~doc)
     Term.(
       const fleet_cmd $ nodes $ pods $ rate $ arrival $ shards $ domains
-      $ seed $ quick $ check $ profile_arg $ fault_rate $ standby)
+      $ seed $ quick $ check $ profile_arg $ fault_rate $ standby $ admission
+      $ autoscale $ service_us $ pods_max $ frontier)
 
 let trace_term =
   let users =

@@ -290,3 +290,14 @@ let scale_down t =
   in
   t.fleet <- busy;
   List.length empty
+
+let replica_headroom node ~cpu ~mem =
+  if cpu <= 0.0 || mem <= 0.0 then
+    invalid_arg "Autopilot.replica_headroom: replica shape must be > 0";
+  let by_cpu =
+    (Node.cpu_capacity node -. Node.cpu_requested node) /. cpu
+  in
+  let by_mem =
+    (Node.mem_capacity node -. Node.mem_requested node) /. mem
+  in
+  Stdlib.max 0 (int_of_float (Float.min by_cpu by_mem))

@@ -62,6 +62,14 @@ val delete : t -> deployment -> unit
 val scale_down : t -> int
 (** Releases nodes with no reservations; returns how many. *)
 
+val replica_headroom : Nest_orch.Node.t -> cpu:float -> mem:float -> int
+(** How many more replicas of the given shape the node's remaining
+    capacity can host — the static ceiling a per-node autoscaler plans
+    against at setup time (a runtime reservation from an arbitrary
+    shard would race with the churn replay and break digest identity;
+    see DESIGN.md §5e).  Raises [Invalid_argument] on a non-positive
+    shape. *)
+
 val nodes : t -> Nest_orch.Node.t list
 val vms_bought : t -> int
 val pods_split : t -> int

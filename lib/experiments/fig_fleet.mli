@@ -21,6 +21,15 @@
     completion trace plus the churn outcome is byte-identical for any
     [--shards]/[--domains] split. *)
 
+type admission_policy = [ `Fixed | `Burn | `Codel ]
+(** Client-side shed policy of every generator (see
+    {!Nest_loadgen.Admission}): [`Fixed] is the PR 9 outstanding bound;
+    [`Burn] an AIMD limit driven by the node's own latency-SLO burn;
+    [`Codel] deadline-aware dropping. *)
+
+val admission_to_string : admission_policy -> string
+val admission_of_string : string -> admission_policy option
+
 type params = {
   nodes : int;        (** Fleet size (default 8). *)
   pods : int;         (** Trace pods replayed through the scheduler (default 200). *)
@@ -28,7 +37,15 @@ type params = {
   arrival : [ `Poisson | `Constant ];  (** Arrival process (default Poisson). *)
   profile : Nest_net.Netem.profile option;  (** Inter-node link profile. *)
   fault_rate : float; (** Per-link-direction flap probability (default 0). *)
-  standby : int;      (** Hostlo standby pool depth (default 0). *)
+  standby : int;      (** Hostlo standby pool depth; also warm workers per
+                          serving pool (default 0). *)
+  admission : admission_policy;  (** Shed policy (default [`Fixed]). *)
+  autoscale : bool;   (** Per-node pod autoscaler on the serving pools,
+                          driven by server-side SLO burn (default off). *)
+  service_us : float; (** Per-request service cost on a pod, µs
+                          (default 0.25 — the thin echo loop). *)
+  pods_max : int;     (** Per-node pool ceiling, further clamped by the
+                          node's static replica headroom (default 4). *)
   seed : int64;
 }
 
@@ -44,6 +61,34 @@ val digest :
   string
 (** MD5 over every node's (mode, counts, completion trace) and the
     churn outcome — must not depend on [shards] or [domains]. *)
+
+type summary = {
+  s_offered : int;
+  s_shed : int;
+  s_lost : int;
+  s_completed : int;
+  s_p99_us : float;         (** Merged completed-RTT p99 across nodes. *)
+  s_avail_worst_burn : float;
+      (** Worst availability-window burn across all node monitors:
+          < 1.0 means no window ever exhausted its error budget. *)
+  s_pods : int;             (** Final active serving pods, fleet-wide. *)
+  s_scale_events : int;     (** Autoscaler transitions, fleet-wide. *)
+  s_digest : string;
+}
+
+val summarize :
+  ?params:params -> ?shards:int -> ?domains:int -> quick:bool -> unit ->
+  summary
+(** Runs the scenario and returns the machine-readable outcome the
+    graceful-degradation acceptance tests assert on. *)
+
+val frontier :
+  ?params:params -> ?shards:int -> ?domains:int -> quick:bool -> unit -> unit
+(** Shedding-vs-scaling sweep: the fleet under degraded link profiles
+    (wan, lossy, and "flaky" = lossy + link flaps) crossed with the
+    admission × autoscaling grid; one row per (link, control, mode)
+    with the shed fraction charged to the generating mode and the
+    completions/p99 delivered by the serving mode. *)
 
 val check : ?params:params -> quick:bool -> unit -> bool
 (** Determinism guard: digests at (shards, domains) in

@@ -127,14 +127,18 @@ let fig12 ~quick =
   let results =
     Exp_util.Par.map (fun m -> (m, run_pair_mc ~quick m)) Modes.all_pair
   in
-  Printf.printf "%-10s %14s %12s %12s %12s\n" "mode" "lat mean(us)" "sd(us)"
-    "p50(us)" "p99(us)";
+  (* Closed-loop percentiles come with their coordinated-omission bound:
+     skew p99 is how late sends left relative to a prompt loop, i.e. by
+     how much the published p50/p99 can understate a per-op truth. *)
+  Printf.printf "%-10s %14s %12s %12s %12s %14s\n" "mode" "lat mean(us)"
+    "sd(us)" "p50(us)" "p99(us)" "skew p99(us)";
   List.iter
     (fun (m, r) ->
       let l = r.Memcached.latency in
-      Printf.printf "%-10s %14.1f %12.1f %12.1f %12.1f\n"
+      Printf.printf "%-10s %14.1f %12.1f %12.1f %12.1f %14.1f\n"
         (Modes.pair_to_string m) (Stats.mean l) (Stats.stddev l)
-        (Stats.percentile l 50.0) (Stats.percentile l 99.0))
+        (Stats.percentile l 50.0) (Stats.percentile l 99.0)
+        (Stats.percentile r.Memcached.skew 99.0))
     results;
   let sd m =
     let l = (List.assoc m results).Memcached.latency in

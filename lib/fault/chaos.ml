@@ -92,6 +92,8 @@ type outcome = {
   o_slo_lat : Hdr.t;        (* completion-latency sketch (µs), mergeable *)
   o_skew_p99_us : float;    (* coordinated-omission send skew, p99 µs *)
   o_co_flagged : bool;      (* skew p99 exceeded the SLO window *)
+  o_corr_p50_us : float;    (* wrk2-corrected latency (measured + own skew) *)
+  o_corr_p99_us : float;
   o_timeline : (Time.ns * string) list;
 }
 
@@ -450,24 +452,29 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
   Testbed.run_until tb horizon;
 
   (* ---- harvest (snapshot before draining) ---- *)
-  let sent_count, replies, lat_completions, _wl_lost, skew_p99 =
+  let sent_count, replies, lat_completions, _wl_lost, skew_p99, corr_p50,
+      corr_p99 =
     match workload with
-    | Probe -> (!sent, List.rev !recv_times, [], 0, 0.)
+    | Probe -> (!sent, List.rev !recv_times, [], 0, 0., 0., 0.)
     | Rr -> (
       match !rr_driver with
-      | None -> (0, [], [], 0, 0.)
+      | None -> (0, [], [], 0, 0., 0., 0.)
       | Some d ->
         let cs = d.Netperf.rrd_completions () in
+        let corr = d.Netperf.rrd_corrected () in
         (d.Netperf.rrd_sent (), List.map fst cs, cs, d.Netperf.rrd_lost (),
-         Hdr.percentile (d.Netperf.rrd_skew ()) 99.0))
+         Hdr.percentile (d.Netperf.rrd_skew ()) 99.0,
+         Hdr.percentile corr 50.0, Hdr.percentile corr 99.0))
     | Mc -> (
       match !mc_driver with
-      | None -> (0, [], [], 0, 0.)
+      | None -> (0, [], [], 0, 0., 0., 0.)
       | Some d ->
         let cs = d.Memcached.mcd_completions () in
+        let corr = d.Memcached.mcd_corrected () in
         (d.Memcached.mcd_sent (), List.map fst cs, cs,
          d.Memcached.mcd_dropped (),
-         Hdr.percentile (d.Memcached.mcd_skew ()) 99.0))
+         Hdr.percentile (d.Memcached.mcd_skew ()) 99.0,
+         Hdr.percentile corr 50.0, Hdr.percentile corr 99.0))
   in
   (* A closed loop whose send-time skew outgrows the SLO evaluation
      window has been wedged for longer than one whole reporting
@@ -566,6 +573,8 @@ let run_cell ?(quick = false) ?pods ?(workload = Probe) ?(standby = 0)
     o_slo_lat = Slo.latency slo;
     o_skew_p99_us = skew_p99;
     o_co_flagged = co_flagged;
+    o_corr_p50_us = corr_p50;
+    o_corr_p99_us = corr_p99;
     o_timeline = Injector.timeline inj;
   }
 
@@ -607,7 +616,8 @@ let render o =
        (Hdr.percentile o.o_slo_lat 50.0)
        (Hdr.percentile o.o_slo_lat 99.0));
   Buffer.add_string b
-    (Printf.sprintf "skew p99=%.3f co=%b\n" o.o_skew_p99_us o.o_co_flagged);
+    (Printf.sprintf "skew p99=%.3f co=%b corr=[%.3f %.3f]\n" o.o_skew_p99_us
+       o.o_co_flagged o.o_corr_p50_us o.o_corr_p99_us);
   List.iter
     (fun r -> Buffer.add_string b (Printf.sprintf "rec %.6f\n" r))
     o.o_recovered;
@@ -638,7 +648,13 @@ let pp_outcome fmt o =
       o.o_goodput o.o_lat_p50_us o.o_lat_p99_us o.o_post_p50_us
       o.o_post_p99_us;
     Format.fprintf fmt " skew p99 %.0f us%s" o.o_skew_p99_us
-      (if o.o_co_flagged then " [COORDINATED OMISSION]" else "")
+      (if o.o_co_flagged then " [COORDINATED OMISSION]" else "");
+    (* In a flagged cell the measured percentiles describe only the
+       requests the wedged loop deigned to send; print the wrk2
+       corrected numbers (measured + own send skew) beside them. *)
+    if o.o_co_flagged then
+      Format.fprintf fmt " corrected p50 %.0f p99 %.0f us" o.o_corr_p50_us
+        o.o_corr_p99_us
   end;
   (match o.o_slo with
   | [] -> ()

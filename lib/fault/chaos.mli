@@ -84,6 +84,11 @@ type outcome = {
           closed loop was wedged for at least one whole reporting
           interval, so treat the completion-latency figures as
           survivors' statistics. *)
+  o_corr_p50_us : float;
+      (** wrk2-corrected latency percentiles: per completion, measured
+          plus that op's own send skew.  Printed beside the measured
+          numbers in coordinated-omission-flagged cells. *)
+  o_corr_p99_us : float;
   o_timeline : (Nest_sim.Time.ns * string) list;
 }
 

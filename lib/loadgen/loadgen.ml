@@ -22,7 +22,7 @@ type t = {
   g_arrival : Arrival.t;
   g_sizes : Size_dist.t;
   g_rng : Nest_sim.Prng.t;
-  g_max_outstanding : int;
+  g_admission : Admission.t;
   g_timeout : Time.ns;
   g_slo : Nest_sim.Slo.t option;
   g_dispatch : seq:int -> size:int -> unit;
@@ -53,11 +53,15 @@ let slo_done t us =
 
 let arrive t =
   t.g_offered <- t.g_offered + 1;
-  (* Shed arrivals still count as offered toward the SLO: refusing work
-     burns availability; it must never look like absent demand. *)
-  slo_sent t;
-  if t.g_outstanding >= t.g_max_outstanding then t.g_shed <- t.g_shed + 1
+  (* A shed is a deliberate fast-fail answered at admission — graceful
+     degradation, not an outage — so it must not burn the availability
+     objective (the [shed] counter keeps refusals first-class).
+     Availability judges admitted work: a request the system accepted
+     and then lost to a timeout is the error that burns the budget. *)
+  if not (Admission.decide t.g_admission ~outstanding:t.g_outstanding) then
+    t.g_shed <- t.g_shed + 1
   else begin
+    slo_sent t;
     t.g_admitted <- t.g_admitted + 1;
     t.g_seq <- t.g_seq + 1;
     let seq = t.g_seq in
@@ -70,7 +74,8 @@ let arrive t =
         if Hashtbl.mem t.g_intended seq then begin
           Hashtbl.remove t.g_intended seq;
           t.g_lost <- t.g_lost + 1;
-          t.g_outstanding <- t.g_outstanding - 1
+          t.g_outstanding <- t.g_outstanding - 1;
+          Admission.on_lost t.g_admission
         end)
   end
 
@@ -85,15 +90,24 @@ let rec schedule_next t =
           schedule_next t)
 
 let create ~engine ?(label = "loadgen") ~arrival ~sizes ~rng
-    ?(max_outstanding = 64) ?(timeout = Time.ms 100) ?slo ~dispatch ~start
-    ~stop () =
+    ?(max_outstanding = 64) ?admission ?burn_source ?(timeout = Time.ms 100)
+    ?slo ~dispatch ~start ~stop () =
   if max_outstanding <= 0 then
     invalid_arg "Loadgen.create: max_outstanding must be > 0";
   if timeout <= 0 then invalid_arg "Loadgen.create: timeout must be > 0";
   if stop <= start then invalid_arg "Loadgen.create: stop must be > start";
+  (* The admission horizon outlives the last arrival by one timeout so a
+     Burn controller's final windows still see the tail completions, but
+     never the drain beyond them. *)
+  let admission =
+    Admission.create ~engine ?burn_source ~stop:(stop + timeout)
+      (match admission with
+      | Some p -> p
+      | None -> Admission.fixed max_outstanding)
+  in
   let t =
     { g_engine = engine; g_label = label; g_arrival = arrival;
-      g_sizes = sizes; g_rng = rng; g_max_outstanding = max_outstanding;
+      g_sizes = sizes; g_rng = rng; g_admission = admission;
       g_timeout = timeout; g_slo = slo; g_dispatch = dispatch;
       g_start = start; g_stop = stop; g_intended = Hashtbl.create 128;
       g_latency = Nest_sim.Hdr.create ~name:(label ^ ":latency_us") ();
@@ -114,6 +128,7 @@ let complete t ~seq =
     let us = Time.to_us_f (now - intended) in
     Nest_sim.Hdr.add t.g_latency us;
     t.g_completions <- (now, us) :: t.g_completions;
+    Admission.on_complete t.g_admission ~latency_us:us;
     slo_done t us
 
 let counts t =
@@ -123,6 +138,7 @@ let counts t =
 let latency t = t.g_latency
 let completions t = List.rev t.g_completions
 let label t = t.g_label
+let admission_limit t = Admission.limit t.g_admission
 
 (* ---- UDP frontend ---- *)
 
@@ -132,8 +148,8 @@ type Nest_net.Payload.app_msg += Lg_req of { gen : int; seq : int }
 let app_send_cost_ns = 180
 let app_recv_cost_ns = 250
 
-let udp ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?timeout ?slo
-    ~gen_id ~ns ~exec ~target ~start ~stop () =
+let udp ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?admission
+    ?burn_source ?timeout ?slo ~gen_id ~ns ~exec ~target ~start ~stop () =
   let sock = ref None in
   let dispatch ~seq ~size =
     match (!sock, target ()) with
@@ -144,8 +160,8 @@ let udp ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?timeout ?slo
     | _ -> ()  (* unreachable service: the admission timeout counts it *)
   in
   let t =
-    create ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?timeout ?slo
-      ~dispatch ~start ~stop ()
+    create ~engine ?label ~arrival ~sizes ~rng ?max_outstanding ?admission
+      ?burn_source ?timeout ?slo ~dispatch ~start ~stop ()
   in
   let sk =
     Nest_net.Stack.Udp.bind ns ~port:0 (fun _ ~src:_ payload ->

@@ -11,11 +11,16 @@
     silently pausing the clock the way a closed loop does (the wrk2
     critique).
 
-    Admission is bounded: at most [max_outstanding] requests may be in
-    flight; arrivals beyond that are {e shed} (counted, and still fed to
-    the SLO monitor as offered-but-not-completed, burning availability).
+    Admission is a pluggable {!Admission.policy}: the default [Fixed]
+    bound sheds arrivals beyond [max_outstanding]; a [Burn] policy
+    drives an AIMD concurrency limit from a live SLO burn reading; a
+    [Codel] policy drops on persistent deadline misses.  A shed is a
+    deliberate zero-time fast-fail — graceful degradation, not an
+    outage — so shed arrivals are counted (the [shed] book entry) but
+    {e not} fed to the SLO monitor; availability judges admitted work.
     Admitted requests that see no completion within [timeout] are
-    {e lost} and their slot reclaimed.
+    {e lost}, their slot reclaimed — that is the error that burns the
+    availability budget.
 
     Determinism: a generator belongs to one engine (one shard in a
     {!Nest_sim.Sharded} scenario); every PRNG draw happens inside that
@@ -41,6 +46,8 @@ val create :
   sizes:Size_dist.t ->
   rng:Nest_sim.Prng.t ->
   ?max_outstanding:int ->
+  ?admission:Admission.policy ->
+  ?burn_source:(unit -> float) ->
   ?timeout:Nest_sim.Time.ns ->
   ?slo:Nest_sim.Slo.t ->
   dispatch:(seq:int -> size:int -> unit) ->
@@ -53,6 +60,11 @@ val create :
     trace process simply ends).  [dispatch ~seq ~size] is called inside
     the arrival event for every admitted request; the transport must
     call {!complete} with the same [seq] when the response lands.
+    [admission] overrides the shed policy (default
+    [Admission.fixed max_outstanding], the PR 9 behaviour);
+    [burn_source] feeds a [Burn] policy its live SLO reading — wire it
+    to {!Nest_sim.Slo.last_burn} of the objective shedding protects.
+    The admission controller's window ticks stop at [stop + timeout].
     [max_outstanding] defaults to 64, [timeout] to 100 ms.  Raises
     [Invalid_argument] on a non-positive bound/timeout or an empty
     window. *)
@@ -76,6 +88,10 @@ val completions : t -> (Nest_sim.Time.ns * float) list
 
 val label : t -> string
 
+val admission_limit : t -> int
+(** Current effective concurrency limit of the admission controller
+    (see {!Admission.limit}). *)
+
 (** {2 UDP frontend}
 
     A generator whose dispatcher ships each request as a tagged UDP
@@ -97,6 +113,8 @@ val udp :
   sizes:Size_dist.t ->
   rng:Nest_sim.Prng.t ->
   ?max_outstanding:int ->
+  ?admission:Admission.policy ->
+  ?burn_source:(unit -> float) ->
   ?timeout:Nest_sim.Time.ns ->
   ?slo:Nest_sim.Slo.t ->
   gen_id:int ->

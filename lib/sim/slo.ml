@@ -47,6 +47,11 @@ type tracker = {
   mutable windows : int;
   mutable violations : int;
   mutable worst_burn : float;
+  (* Burn of the most recently completed window — the live reading the
+     admission controller and the autoscaler key off.  Updated only
+     inside the window tick (an engine event), so any same-shard reader
+     sees a value that is a pure function of the event order. *)
+  mutable last_burn : float;
 }
 
 type t = {
@@ -112,6 +117,7 @@ let burn tk =
 let tick t tk () =
   let b = burn tk in
   tk.windows <- tk.windows + 1;
+  tk.last_burn <- b;
   if b > tk.worst_burn then tk.worst_burn <- b;
   if b > 1.0 then begin
     tk.violations <- tk.violations + 1;
@@ -143,7 +149,8 @@ let create ?(error = 0.01) ?start ~specs ~stop engine =
           (List.map
              (fun spec ->
                { spec; w_sent = 0; w_ok = 0; w_lat_n = 0; w_lat_over = 0;
-                 windows = 0; violations = 0; worst_burn = 0.0 })
+                 windows = 0; violations = 0; worst_burn = 0.0;
+                 last_burn = 0.0 })
              specs);
       lat = Hdr.create ~error ~name:"slo.latency_us" ();
       stop_at = stop;
@@ -187,6 +194,15 @@ let observe_latency t us =
   done
 
 let latency t = t.lat
+
+let last_burn t ~name =
+  Array.fold_left
+    (fun acc tk ->
+      if String.equal tk.spec.sname name then Some tk.last_burn else acc)
+    None t.trackers
+
+let worst_last_burn t =
+  Array.fold_left (fun acc tk -> Float.max acc tk.last_burn) 0.0 t.trackers
 
 let report t =
   Array.to_list

@@ -62,6 +62,17 @@ val latency : t -> Hdr.t
 (** Run-wide completion-latency sketch (µs); merge across cells for
     fleet percentiles. *)
 
+val last_burn : t -> name:string -> float option
+(** Burn rate of the most recently completed window of the named spec
+    (0.0 before the first window closes; [None] for an unknown name).
+    This is the live reading control loops — admission controllers,
+    autoscalers — consume.  It is only ever updated inside the monitor's
+    own window-tick events, so a reader on the same engine observes a
+    value that is a pure function of the deterministic event order. *)
+
+val worst_last_burn : t -> float
+(** Max of {!last_burn} across every spec (0.0 with no specs). *)
+
 type compliance = {
   c_name : string;
   c_objective : objective;

@@ -11,6 +11,11 @@ open Nestfusion
 type result = {
   responses_per_sec : float;
   latency : Nest_sim.Stats.t;  (** Per-request, us. *)
+  skew : Nest_sim.Stats.t;
+      (** Per-request send skew (us): client-pool queueing between the
+          loop deciding to issue an op and the request leaving.  The
+          coordinated-omission bound on the published percentiles —
+          figure paths print its p99 next to the latency numbers. *)
   gets : int;
   sets : int;
 }
@@ -62,6 +67,10 @@ type mc_driver = {
           intended start in us.  A suspension remembers when the loop
           parked, so the whole outage — strikes, the parked wait, the
           reconnect — lands in the first post-resume send's skew. *)
+  mcd_corrected : unit -> Nest_sim.Hdr.t;
+      (** wrk2's corrected latency: per completion, measured plus that
+          op's own send skew — the honest percentile when the skew
+          ledger flags coordinated omission. *)
 }
 
 val drive :

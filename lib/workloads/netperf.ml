@@ -183,6 +183,7 @@ type rr_driver = {
   rrd_lost : unit -> int;
   rrd_completions : unit -> (Time.ns * float) list;
   rrd_skew : unit -> Nest_sim.Hdr.t;
+  rrd_corrected : unit -> Nest_sim.Hdr.t;
 }
 
 let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
@@ -214,12 +215,20 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
      for a second shows up here even though its recorded RTTs stay
      flat. *)
   let skew = Nest_sim.Hdr.create ~name:"rr:skew_us" () in
+  (* Corrected ledger: per completion, measured RTT plus that op's own
+     send skew — wrk2's corrected percentile.  [cur_skew] carries the
+     in-flight op's skew from send to completion (the loop is
+     synchronous, so there is exactly one). *)
+  let corrected = Nest_sim.Hdr.create ~name:"rr:corrected_us" () in
+  let cur_skew = ref 0.0 in
   let intended = ref start in
   let last_send = ref start in
   let rec send_next () =
     if Engine.now engine < stop then begin
       let now = Engine.now engine in
-      Nest_sim.Hdr.add skew (Float.max 0. (Time.to_us_f (now - !intended)));
+      let sk_us = Float.max 0. (Time.to_us_f (now - !intended)) in
+      Nest_sim.Hdr.add skew sk_us;
+      cur_skew := sk_us;
       last_send := now;
       incr seq;
       let s = !seq in
@@ -249,6 +258,7 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
           outstanding := 0;
           let us = Time.to_us_f (Engine.now engine - t0) in
           completions := (Engine.now engine, us) :: !completions;
+          Nest_sim.Hdr.add corrected (us +. !cur_skew);
           slo_done us;
           if Engine.now engine < stop then begin
             intended := Engine.now engine + app_send_cost_ns;
@@ -261,4 +271,129 @@ let udp_rr_driver tb ~cl_ns ~cl_exec ~target ~msg_size
   { rrd_sent = (fun () -> !sent);
     rrd_lost = (fun () -> !lost);
     rrd_completions = (fun () -> List.rev !completions);
-    rrd_skew = (fun () -> skew) }
+    rrd_skew = (fun () -> skew);
+    rrd_corrected = (fun () -> corrected) }
+
+(* ---- scalable UDP echo pool (fleet serving side) ----
+
+   [udp_echo_server] is one worker context behind one socket.  The pool
+   generalizes it into the serving side of a fleet node: [max] worker
+   contexts created up front (so the exec roster is deterministic),
+   requests round-robined over the currently active prefix, and an
+   [epool_set_active] knob an autoscaler drives.  Warm standby workers
+   activate instantly; cold ones pay [boot_delay].  Scale-down is a
+   drain by construction: a deactivated worker merely stops receiving
+   new work — everything already submitted to its exec completes on
+   schedule, so no request is ever stranded. *)
+
+type echo_pool = {
+  epool_set_active : int -> unit;
+  epool_active : unit -> int;
+  epool_ready : unit -> int;
+  epool_served : unit -> int;
+  epool_cold_starts : unit -> int;
+  epool_close : unit -> unit;
+}
+
+type worker_state = Cold | Warm | Booting | Ready
+
+let udp_echo_pool ~ns ~port ~new_exec ?(service_cost = app_recv_cost_ns)
+    ?(initial = 1) ~max:max_workers ?(standby = 0)
+    ?(boot_delay = Time.ms 50) ?slo () =
+  if initial < 1 then invalid_arg "udp_echo_pool: initial must be >= 1";
+  if max_workers < initial then
+    invalid_arg "udp_echo_pool: max must be >= initial";
+  if standby < 0 then invalid_arg "udp_echo_pool: standby must be >= 0";
+  if boot_delay < 0 then invalid_arg "udp_echo_pool: boot_delay must be >= 0";
+  if service_cost < 0 then
+    invalid_arg "udp_echo_pool: service_cost must be >= 0";
+  let workers =
+    Array.init max_workers (fun i -> new_exec (Printf.sprintf "pod%d" i))
+  in
+  let engine = Nest_sim.Exec.engine workers.(0) in
+  let state =
+    Array.init max_workers (fun i ->
+        if i < initial then Ready
+        else if i < initial + standby then Warm
+        else Cold)
+  in
+  let active = ref initial in
+  let served = ref 0 in
+  let cold_starts = ref 0 in
+  let rr = ref 0 in
+  let slo_sent () =
+    match slo with Some s -> Nest_sim.Slo.observe_sent s | None -> ()
+  in
+  let slo_done us =
+    match slo with
+    | Some s ->
+      Nest_sim.Slo.observe_ok s;
+      Nest_sim.Slo.observe_latency s us
+    | None -> ()
+  in
+  (* Next Ready worker in the active prefix, round-robin.  Worker 0 is
+     Ready from creation and the knob never deactivates it, so the scan
+     cannot come up empty. *)
+  let pick () =
+    let n = !active in
+    let rec scan tries =
+      let i = !rr mod n in
+      rr := (!rr + 1) mod n;
+      match state.(i) with
+      | Ready -> i
+      | Cold | Warm | Booting -> if tries <= 1 then 0 else scan (tries - 1)
+    in
+    scan n
+  in
+  let sock =
+    Stack.Udp.bind ns ~port (fun s ~src payload ->
+        let ip, p = src in
+        incr served;
+        slo_sent ();
+        let arrived = Engine.now engine in
+        let w = workers.(pick ()) in
+        let finish =
+          Nest_sim.Exec.submit_timed w ~cost:service_cost (fun () ->
+              slo_done (Time.to_us_f (Engine.now engine - arrived));
+              Stack.Udp.sendto s ~dst:ip ~dst_port:p payload)
+        in
+        ignore (finish : Time.ns))
+  in
+  let set_active n =
+    let n = Stdlib.min max_workers (Stdlib.max 1 n) in
+    let cur = !active in
+    if n > cur then begin
+      for i = cur to n - 1 do
+        match state.(i) with
+        | Warm -> state.(i) <- Ready  (* pre-provisioned: instant *)
+        | Cold ->
+          state.(i) <- Booting;
+          incr cold_starts;
+          Engine.schedule engine ~label:"epool:boot" ~delay:boot_delay
+            (fun () -> if state.(i) = Booting then state.(i) <- Ready)
+        | Booting | Ready -> ()
+      done;
+      active := n
+    end
+    else if n < cur then begin
+      (* Drain: stop routing; in-flight work on the drained execs
+         completes on schedule.  A drained worker stays warm — it was
+         just running. *)
+      for i = n to cur - 1 do
+        match state.(i) with Ready | Booting -> state.(i) <- Warm | _ -> ()
+      done;
+      active := n
+    end
+  in
+  {
+    epool_set_active = set_active;
+    epool_active = (fun () -> !active);
+    epool_ready =
+      (fun () ->
+        Array.fold_left
+          (fun acc st -> if st = Ready then acc + 1 else acc)
+          0 state);
+    epool_served = (fun () -> !served);
+    epool_cold_starts = (fun () -> !cold_starts);
+    epool_close = (fun () -> Stack.Udp.close sock);
+  }

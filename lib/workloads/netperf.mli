@@ -86,6 +86,11 @@ type rr_driver = {
           watchdog fire, the lost op's own send time.  A loop wedged
           behind a dead server records its stall here even though the
           completed-RTT histogram stays flat. *)
+  rrd_corrected : unit -> Nest_sim.Hdr.t;
+      (** wrk2's corrected latency: per completion, the measured RTT
+          plus that operation's own send skew — what the op would have
+          measured had it left on time.  The honest percentile to quote
+          when the skew ledger flags coordinated omission. *)
 }
 
 val udp_rr_driver :
@@ -107,3 +112,49 @@ val udp_rr_driver :
     ever calling [Engine.run].  [slo] receives one
     {!Nest_sim.Slo.observe_sent} per transaction attempted and an
     [observe_ok] + [observe_latency] per completion. *)
+
+(** {2 Scalable UDP echo pool}
+
+    The serving side of a fleet node under autoscaling: [max] worker
+    contexts ("pods") created up front for a deterministic exec roster,
+    requests round-robined over the active prefix, and an activation
+    knob an {!Nest_orch.Autoscaler} drives from inside its own tick
+    events.  Warm standby workers activate instantly (the Deploy
+    standby-pool story); cold ones pay a boot delay.  Deactivating a
+    worker only stops routing to it — work already on its exec
+    completes on schedule, so scale-down never strands a request. *)
+
+type echo_pool = {
+  epool_set_active : int -> unit;
+      (** Set the routed-worker count, clamped to [1 .. max].  Growing
+          past the warm set boots cold workers asynchronously; shrinking
+          drains.  Call only from events of the owning engine. *)
+  epool_active : unit -> int;       (** Routed prefix size (desired). *)
+  epool_ready : unit -> int;        (** Workers actually serving now. *)
+  epool_served : unit -> int;       (** Requests accepted so far. *)
+  epool_cold_starts : unit -> int;  (** Boot delays paid so far. *)
+  epool_close : unit -> unit;
+}
+
+val udp_echo_pool :
+  ns:Nest_net.Stack.ns ->
+  port:int ->
+  new_exec:(string -> Nest_sim.Exec.t) ->
+  ?service_cost:Nest_sim.Time.ns ->
+  ?initial:int ->
+  max:int ->
+  ?standby:int ->
+  ?boot_delay:Nest_sim.Time.ns ->
+  ?slo:Nest_sim.Slo.t ->
+  unit ->
+  echo_pool
+(** [new_exec] is the worker-context factory (e.g. a deployment site's
+    [site_new_exec]); it is called exactly [max] times at creation.
+    Workers [0 .. initial-1] start ready, the next [standby] start
+    warm, the rest cold.  Each request pays [service_cost] (default:
+    the echo server's per-transaction cost) on its worker before the
+    reply leaves.  [slo] — a {e server-side} monitor — receives sent at
+    arrival and ok/latency at reply, where latency is the request's
+    queueing plus service time on the node; its burn is what a
+    co-located autoscaler should read.  Defaults: [initial] 1,
+    [standby] 0, [boot_delay] 50 ms. *)
